@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The full message-level 3-phase distributed protocol, end to end.
+
+Unlike the quickstart (which uses the seeded centralised pipeline),
+this demo runs the actual guarded-command protocols of Figures 2-4
+inside the discrete event simulator: HELLO beacons, DISSEM gossip with
+2-hop collision resolution, the SEARCH hops of the node locator, the
+CHANGE chain of the slot refinement, and the Normal=0 update cascade —
+then validates the emerging schedule against the formal definitions
+and accounts for every message sent.
+
+Run: ``python examples/distributed_protocol_demo.py``
+"""
+
+from repro import (
+    DasProtocolConfig,
+    SlpProtocolConfig,
+    check_strong_das,
+    check_weak_das,
+    paper_grid,
+    run_das_setup,
+    run_slp_setup,
+)
+from repro.visualize import render_slot_grid
+
+
+def main() -> None:
+    grid = paper_grid(11)
+    das_cfg = DasProtocolConfig(setup_periods=60)  # paper MSP is 80
+
+    print("Phase 1 (Figure 2): distributed DAS slot assignment")
+    baseline = run_das_setup(grid, config=das_cfg, seed=4)
+    print(f"  {baseline.messages_sent} broadcasts over {baseline.rounds} rounds")
+    print(f"  {check_strong_das(grid, baseline.schedule).summary()}")
+
+    print("\nPhases 1+2+3 (Figures 2-4): SLP DAS")
+    slp_cfg = SlpProtocolConfig(
+        das=das_cfg,
+        search_distance=3,
+        change_length=max(1, grid.source_sink_distance() - 3),
+        refinement_periods=20,
+    )
+    slp = run_slp_setup(grid, config=slp_cfg, seed=4)
+    print(f"  {slp.messages_sent} broadcasts total")
+    print(f"  Phase 2 SEARCH messages: {slp.search_messages}")
+    print(f"  Phase 3 CHANGE messages: {slp.change_messages}")
+    print(f"  start node: {slp.start_node}; decoy nodes: {slp.decoy_path}")
+    print(f"  {check_weak_das(grid, slp.schedule).summary()}")
+
+    extra = slp.messages_sent - baseline.messages_sent
+    print(f"\nmessage overhead: +{extra} broadcasts "
+          f"({100 * extra / baseline.messages_sent:+.1f}%) — "
+          "the paper's 'negligible overhead' claim")
+
+    print("\nrefined slot landscape (compressed; decoy path in [ ]):")
+    print(render_slot_grid(grid, slp.schedule.compressed(), highlight=slp.decoy_path))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""repro — a reproduction of "Source Location Privacy-Aware Data
+Aggregation Scheduling for Wireless Sensor Networks" (Kirton, Bradbury,
+Jhumka — ICDCS 2017).
+
+The package provides, end to end:
+
+* WSN topologies and a discrete event simulator with a TDMA MAC
+  (:mod:`repro.topology`, :mod:`repro.simulator`, :mod:`repro.mac`);
+* the paper's formal objects — schedules, strong/weak DAS checks,
+  safety periods (:mod:`repro.core`);
+* the 3-phase protocol, both distributed (message level) and as a
+  seeded centralised pipeline (:mod:`repro.das`, :mod:`repro.slp`);
+* the ``(R, H, M, s0, D)`` eavesdropper and the ``VerifySchedule``
+  decision procedure (:mod:`repro.attacker`, :mod:`repro.verification`);
+* the evaluation harness regenerating Table I and Figure 5
+  (:mod:`repro.app`, :mod:`repro.metrics`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import paper_grid, build_slp_schedule, verify_schedule
+    from repro import safety_period, PAPER
+
+    grid = paper_grid(11)
+    build = build_slp_schedule(grid, seed=0)
+    delta = safety_period(grid, PAPER.frame().period_length).periods
+    print(verify_schedule(grid, build.schedule, delta))
+"""
+
+from .analysis import (
+    GradientField,
+    descent_path,
+    gradient_field,
+    gradient_successor,
+    predicts_capture,
+    refinement_footprint,
+)
+from .attacker import (
+    AttackerSpec,
+    AttackerState,
+    AvoidRecentlyVisited,
+    EavesdropperAgent,
+    FollowAnyHeard,
+    FollowFirstHeard,
+    HeardMessage,
+    paper_attacker,
+)
+from .app import OperationalResult, run_operational_phase
+from .core import (
+    DasCheckResult,
+    DasViolation,
+    SafetyPeriod,
+    Schedule,
+    capture_time_periods,
+    capture_time_seconds,
+    check_strong_das,
+    check_weak_das,
+    is_non_colliding,
+    is_strong_das,
+    is_weak_das,
+    safety_period,
+    simulation_time_bound,
+)
+from .das import (
+    DasProtocolConfig,
+    DasSetupResult,
+    centralized_das_schedule,
+    run_das_setup,
+)
+from .errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    TopologyError,
+    VerificationError,
+)
+from .experiments import (
+    PAPER,
+    PAPER_SIZES,
+    ExperimentConfig,
+    ExperimentRunner,
+    format_figure5,
+    format_table1,
+    headline_reduction,
+    measure_setup_overhead,
+    run_figure5,
+)
+from .mac import TdmaDriver, TdmaFrame
+from .metrics import (
+    CaptureStats,
+    MessageOverhead,
+    aggregation_stats,
+    capture_stats,
+)
+from .simulator import (
+    BernoulliNoise,
+    CasinoLabNoise,
+    IdealNoise,
+    NoiseModel,
+    Process,
+    Simulator,
+)
+from .slp import (
+    SlpBuildResult,
+    SlpParameters,
+    SlpProtocolConfig,
+    SlpSetupResult,
+    build_slp_schedule,
+    run_slp_setup,
+)
+from .topology import (
+    GridTopology,
+    LineTopology,
+    RingTopology,
+    Topology,
+    paper_grid,
+    random_geometric_topology,
+)
+from .verification import (
+    VerificationResult,
+    generate_attacker_traces,
+    is_slp_aware_das,
+    minimum_capture_period,
+    verify_schedule,
+)
+from .version import __version__
+
+__all__ = [
+    "AttackerSpec",
+    "AttackerState",
+    "AvoidRecentlyVisited",
+    "BernoulliNoise",
+    "CaptureStats",
+    "CasinoLabNoise",
+    "ConfigurationError",
+    "DasCheckResult",
+    "DasProtocolConfig",
+    "DasSetupResult",
+    "DasViolation",
+    "EavesdropperAgent",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "FollowAnyHeard",
+    "FollowFirstHeard",
+    "GradientField",
+    "GridTopology",
+    "HeardMessage",
+    "IdealNoise",
+    "LineTopology",
+    "MessageOverhead",
+    "NoiseModel",
+    "OperationalResult",
+    "PAPER",
+    "PAPER_SIZES",
+    "Process",
+    "ProtocolError",
+    "ReproError",
+    "RingTopology",
+    "SafetyPeriod",
+    "Schedule",
+    "ScheduleError",
+    "SimulationError",
+    "Simulator",
+    "SlpBuildResult",
+    "SlpParameters",
+    "SlpProtocolConfig",
+    "SlpSetupResult",
+    "TdmaDriver",
+    "TdmaFrame",
+    "Topology",
+    "TopologyError",
+    "VerificationError",
+    "VerificationResult",
+    "__version__",
+    "aggregation_stats",
+    "build_slp_schedule",
+    "capture_stats",
+    "capture_time_periods",
+    "capture_time_seconds",
+    "centralized_das_schedule",
+    "check_strong_das",
+    "check_weak_das",
+    "descent_path",
+    "format_figure5",
+    "format_table1",
+    "generate_attacker_traces",
+    "gradient_field",
+    "gradient_successor",
+    "headline_reduction",
+    "is_non_colliding",
+    "is_slp_aware_das",
+    "is_strong_das",
+    "is_weak_das",
+    "measure_setup_overhead",
+    "minimum_capture_period",
+    "paper_attacker",
+    "paper_grid",
+    "predicts_capture",
+    "random_geometric_topology",
+    "refinement_footprint",
+    "run_das_setup",
+    "run_figure5",
+    "run_operational_phase",
+    "run_slp_setup",
+    "safety_period",
+    "simulation_time_bound",
+    "verify_schedule",
+]

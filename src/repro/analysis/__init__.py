@@ -1,0 +1,20 @@
+"""Schedule analysis: the slot-gradient geometry behind the privacy
+results (descent paths, basins, refinement footprints)."""
+
+from .gradient import (
+    GradientField,
+    descent_path,
+    gradient_field,
+    gradient_successor,
+    predicts_capture,
+    refinement_footprint,
+)
+
+__all__ = [
+    "GradientField",
+    "descent_path",
+    "gradient_field",
+    "gradient_successor",
+    "predicts_capture",
+    "refinement_footprint",
+]

@@ -1,0 +1,13 @@
+"""Application layer: the convergecast data plane and the operational
+run harness that pits it against the eavesdropper."""
+
+from .convergecast import ConvergecastNodeProcess
+from .messages import AggregateMessage
+from .runtime import OperationalResult, run_operational_phase
+
+__all__ = [
+    "AggregateMessage",
+    "ConvergecastNodeProcess",
+    "OperationalResult",
+    "run_operational_phase",
+]

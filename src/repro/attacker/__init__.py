@@ -1,0 +1,23 @@
+"""The distributed eavesdropping attacker (Figure 1 of the paper)."""
+
+from .decision import (
+    AvoidRecentlyVisited,
+    DecisionFunction,
+    FollowAnyHeard,
+    FollowFirstHeard,
+    HeardMessage,
+)
+from .eavesdropper import EavesdropperAgent
+from .model import AttackerSpec, AttackerState, paper_attacker
+
+__all__ = [
+    "AttackerSpec",
+    "AttackerState",
+    "AvoidRecentlyVisited",
+    "DecisionFunction",
+    "EavesdropperAgent",
+    "FollowAnyHeard",
+    "FollowFirstHeard",
+    "HeardMessage",
+    "paper_attacker",
+]

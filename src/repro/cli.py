@@ -1,0 +1,176 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage (installed as ``repro-slp-das`` or via ``python -m repro.cli``)::
+
+    repro-slp-das table1
+    repro-slp-das figure5 --search-distance 3 --repeats 30
+    repro-slp-das overhead --size 11 --seeds 3
+    repro-slp-das verify --size 11 --seed 0 --search-distance 3
+    repro-slp-das show --size 11 --seed 0
+
+Every subcommand prints the same rows/series the paper reports, so the
+EXPERIMENTS.md numbers can be re-derived from a shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import check_strong_das, check_weak_das, safety_period
+from .das import centralized_das_schedule
+from .experiments import (
+    PAPER,
+    PAPER_SIZES,
+    format_figure5,
+    format_overhead,
+    format_table1,
+    measure_setup_overhead,
+    run_figure5,
+)
+from .slp import SlpParameters, build_slp_schedule
+from .topology import paper_grid
+from .verification import verify_schedule
+from .visualize import render_roles, render_slot_grid
+
+
+def _cmd_table1(_: argparse.Namespace) -> int:
+    print(format_table1())
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    result = run_figure5(
+        args.search_distance,
+        sizes=tuple(args.sizes),
+        repeats=args.repeats,
+        base_seed=args.seed,
+        noise=args.noise,
+    )
+    print(format_figure5(result))
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    topology = paper_grid(args.size)
+    measurement = measure_setup_overhead(
+        topology,
+        seeds=range(args.seeds),
+        search_distance=args.search_distance,
+        setup_periods=args.setup_periods,
+    )
+    print(format_overhead(measurement))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    topology = paper_grid(args.size)
+    frame = PAPER.frame()
+    delta = safety_period(topology, frame.period_length).periods
+    baseline = centralized_das_schedule(topology, seed=args.seed)
+    build = build_slp_schedule(
+        topology,
+        SlpParameters(search_distance=args.search_distance),
+        seed=args.seed,
+        baseline=baseline,
+    )
+    print(f"safety period: {delta} periods")
+    for name, schedule in (("protectionless", baseline), ("slp", build.schedule)):
+        result = verify_schedule(topology, schedule, delta)
+        if result.slp_aware:
+            print(f"{name}: SLP-aware (True, ⊥, {result.periods})")
+        else:
+            print(
+                f"{name}: captured in {result.periods} periods "
+                f"(False, pc, {result.periods})"
+            )
+            print(f"  counterexample: {' -> '.join(map(str, result.counterexample))}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    topology = paper_grid(args.size)
+    baseline = centralized_das_schedule(topology, seed=args.seed)
+    build = build_slp_schedule(
+        topology,
+        SlpParameters(search_distance=args.search_distance),
+        seed=args.seed,
+        baseline=baseline,
+    )
+    strong = check_strong_das(topology, baseline)
+    weak = check_weak_das(topology, build.schedule)
+    print(f"baseline: {strong.summary()}")
+    print(f"refined:  {weak.summary()}")
+    print()
+    print("refined slot landscape (decoy path in [ ]):")
+    print(
+        render_slot_grid(
+            topology,
+            build.schedule.compressed(),
+            highlight=build.refinement.decoy_path,
+        )
+    )
+    print()
+    print(
+        render_roles(
+            topology,
+            decoy_path=build.refinement.decoy_path,
+            search_path=build.search.path,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-slp-das",
+        description=(
+            "Reproduction of 'Source Location Privacy-Aware Data "
+            "Aggregation Scheduling for WSNs' (ICDCS 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I").set_defaults(func=_cmd_table1)
+
+    fig = sub.add_parser("figure5", help="regenerate a Figure 5 panel")
+    fig.add_argument("--search-distance", type=int, default=3, choices=(3, 5))
+    fig.add_argument("--repeats", type=int, default=30)
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--sizes", type=int, nargs="+", default=list(PAPER_SIZES))
+    fig.add_argument("--noise", choices=("casino", "ideal"), default="casino")
+    fig.set_defaults(func=_cmd_figure5)
+
+    over = sub.add_parser("overhead", help="measure SLP setup overhead")
+    over.add_argument("--size", type=int, default=11, choices=PAPER_SIZES)
+    over.add_argument("--seeds", type=int, default=3)
+    over.add_argument("--search-distance", type=int, default=3)
+    over.add_argument("--setup-periods", type=int, default=None)
+    over.set_defaults(func=_cmd_overhead)
+
+    ver = sub.add_parser("verify", help="run VerifySchedule (Algorithm 1)")
+    ver.add_argument("--size", type=int, default=11, choices=PAPER_SIZES)
+    ver.add_argument("--seed", type=int, default=0)
+    ver.add_argument("--search-distance", type=int, default=3)
+    ver.set_defaults(func=_cmd_verify)
+
+    show = sub.add_parser("show", help="visualise a refined schedule")
+    show.add_argument("--size", type=int, default=11, choices=PAPER_SIZES)
+    show.add_argument("--seed", type=int, default=0)
+    show.add_argument("--search-distance", type=int, default=3)
+    show.set_defaults(func=_cmd_show)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    sys.exit(main())

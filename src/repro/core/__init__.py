@@ -1,0 +1,55 @@
+"""Core formal objects of the paper.
+
+* :class:`Schedule` — TDMA slot assignments / sender-set sequences.
+* Definition 1–3 checkers — non-colliding slots, strong and weak DAS.
+* Definition 4 / Eq. 1 — capture time, safety periods and the
+  simulation time bound of §VI-B.
+"""
+
+from .das_properties import (
+    COLLISION,
+    MISSING_SLOT,
+    ORDERING,
+    UNKNOWN_NODE,
+    DasCheckResult,
+    DasViolation,
+    check_strong_das,
+    check_weak_das,
+    first_violation,
+    is_non_colliding,
+    is_strong_das,
+    is_weak_das,
+)
+from .safety import (
+    PAPER_SAFETY_FACTOR,
+    PAPER_TIME_BOUND_FACTOR,
+    SafetyPeriod,
+    capture_time_periods,
+    capture_time_seconds,
+    safety_period,
+    simulation_time_bound,
+)
+from .schedule import Schedule
+
+__all__ = [
+    "COLLISION",
+    "DasCheckResult",
+    "DasViolation",
+    "MISSING_SLOT",
+    "ORDERING",
+    "PAPER_SAFETY_FACTOR",
+    "PAPER_TIME_BOUND_FACTOR",
+    "SafetyPeriod",
+    "Schedule",
+    "UNKNOWN_NODE",
+    "capture_time_periods",
+    "capture_time_seconds",
+    "check_strong_das",
+    "check_weak_das",
+    "first_violation",
+    "is_non_colliding",
+    "is_strong_das",
+    "is_weak_das",
+    "safety_period",
+    "simulation_time_bound",
+]

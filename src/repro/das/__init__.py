@@ -1,0 +1,26 @@
+"""Data aggregation scheduling (Phase 1 of the paper's protocol).
+
+Two routes to a schedule are provided:
+
+* :func:`run_das_setup` — the faithful distributed protocol of Figure 2
+  executing inside the discrete event simulator;
+* :func:`centralized_das_schedule` — a seeded centralised generator that
+  reproduces the same assignment rules (and the same arrival-order
+  variance) without message exchange, for cheap experiment repeats.
+"""
+
+from .centralized import DEFAULT_NUM_SLOTS, centralized_das_schedule
+from .messages import DissemMessage, HelloMessage, NodeInfo
+from .protocol import DasNodeProcess, DasProtocolConfig, DasSetupResult, run_das_setup
+
+__all__ = [
+    "DEFAULT_NUM_SLOTS",
+    "DasNodeProcess",
+    "DasProtocolConfig",
+    "DasSetupResult",
+    "DissemMessage",
+    "HelloMessage",
+    "NodeInfo",
+    "centralized_das_schedule",
+    "run_das_setup",
+]

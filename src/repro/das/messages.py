@@ -1,0 +1,77 @@
+"""Wire messages of the Phase 1 DAS protocol (Figure 2).
+
+Messages are small frozen dataclasses.  ``DissemMessage`` carries the
+sender's view of its neighbourhood — the ``{Ninfo[j] | j ∈ myN}`` payload
+of the ``dissem`` action — which is how nodes learn their 2-hop state
+for collision detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..topology import NodeId
+
+#: Placeholder for "unknown" hop/slot, the paper's ``⊥``.
+UNKNOWN = None
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """One ``Ninfo`` entry: what a node knows about one of its neighbours."""
+
+    hop: Optional[int] = UNKNOWN
+    slot: Optional[int] = UNKNOWN
+
+    @property
+    def assigned(self) -> bool:
+        """Whether the described node has chosen a slot."""
+        return self.slot is not UNKNOWN
+
+
+@dataclass(frozen=True)
+class HelloMessage:
+    """Neighbour-discovery beacon sent during the NDP periods (Table I)."""
+
+    sender: NodeId
+
+
+@dataclass(frozen=True)
+class DissemMessage:
+    """The ``DISSEM`` broadcast of Figure 2.
+
+    Attributes
+    ----------
+    normal:
+        The paper's ``Normal`` flag — ``True`` for ordinary state
+        dissemination, ``False`` for an *update* instructing children to
+        repair their slots after Phase 3 refinement.
+    sender:
+        The broadcasting node ``i``.
+    ninfo:
+        The sender's neighbourhood view ``{j: Ninfo[j]}``, including its
+        own entry — receivers merge this to learn 2-hop state.
+    parent:
+        The sender's chosen aggregation parent (``⊥`` while unassigned).
+    """
+
+    normal: bool
+    sender: NodeId
+    ninfo: Dict[NodeId, NodeInfo] = field(default_factory=dict)
+    parent: Optional[NodeId] = None
+
+    def entry(self, node: NodeId) -> NodeInfo:
+        """The sender's knowledge of ``node`` (``⊥`` entry when absent)."""
+        return self.ninfo.get(node, NodeInfo())
+
+    def unassigned_neighbours(self) -> Tuple[NodeId, ...]:
+        """Nodes the sender believes have no slot yet — the paper's
+        ``Others`` set used for sibling ranking."""
+        return tuple(
+            sorted(
+                n
+                for n, info in self.ninfo.items()
+                if n != self.sender and not info.assigned
+            )
+        )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class TopologyError(ReproError):
+    """Raised when a topology is malformed or a query is invalid.
+
+    Examples: asking for the neighbours of a node that does not exist,
+    constructing a grid with non-positive dimensions, or designating a
+    source node that is not part of the graph.
+    """
+
+
+class ScheduleError(ReproError):
+    """Raised when a slot assignment is structurally invalid.
+
+    This covers queries against nodes without slots, slot values outside
+    the frame, and attempts to build sender sets from partial schedules.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete event simulator is misused.
+
+    Examples: scheduling an event in the past, running a simulator that
+    has already been shut down, or registering two processes under the
+    same identifier.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a distributed protocol reaches an unrecoverable state.
+
+    Examples: Phase 1 failing to assign a slot to every node within the
+    configured number of setup periods, or Phase 3 being started from a
+    node that was never selected by the Phase 2 node locator.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised when ``VerifySchedule`` is invoked with inconsistent inputs.
+
+    Examples: verifying a schedule against a topology it does not cover,
+    or supplying a non-positive safety period.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when experiment parameters are inconsistent.
+
+    Examples: a search distance larger than the network diameter, or a
+    negative number of repeats.
+    """

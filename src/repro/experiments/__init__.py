@@ -1,0 +1,54 @@
+"""The paper's evaluation, reproducible: Table I parameters, the
+repeated-run experiment engine, Figure 5 and the overhead claim."""
+
+from .config import (
+    PAPER,
+    PAPER_SIZES,
+    PaperParameters,
+    format_table1,
+    paper_topologies,
+)
+from .figure5 import (
+    Figure5Cell,
+    Figure5Result,
+    PAPER_FIGURE5_REFERENCE,
+    format_figure5,
+    headline_reduction,
+    run_figure5,
+)
+from .overhead import (
+    OverheadMeasurement,
+    format_overhead,
+    measure_setup_overhead,
+)
+from .runner import (
+    ALGORITHMS,
+    PROTECTIONLESS,
+    SLP,
+    ExperimentConfig,
+    ExperimentOutcome,
+    ExperimentRunner,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "ExperimentConfig",
+    "ExperimentOutcome",
+    "ExperimentRunner",
+    "Figure5Cell",
+    "Figure5Result",
+    "OverheadMeasurement",
+    "PAPER",
+    "PAPER_FIGURE5_REFERENCE",
+    "PAPER_SIZES",
+    "PROTECTIONLESS",
+    "PaperParameters",
+    "SLP",
+    "format_figure5",
+    "format_overhead",
+    "format_table1",
+    "headline_reduction",
+    "measure_setup_overhead",
+    "paper_topologies",
+    "run_figure5",
+]

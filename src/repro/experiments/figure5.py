@@ -1,0 +1,152 @@
+"""Figure 5 — capture ratio vs network size, at search distances 3 and 5.
+
+:func:`run_figure5` regenerates one panel of the figure: for each grid
+size it measures the capture ratio of protectionless DAS and SLP DAS
+over repeated seeded runs.  :func:`format_figure5` renders the series
+as the text equivalent of the paper's bar chart, and
+:func:`headline_reduction` computes the paper's summary statistic
+("the SLP-aware DAS protocol reduces the capture ratio by 50%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..attacker import AttackerSpec
+from ..errors import ConfigurationError
+from ..metrics import CaptureStats
+from ..topology import paper_grid
+from .config import PAPER, PAPER_SIZES, PaperParameters
+from .runner import PROTECTIONLESS, SLP, ExperimentConfig, ExperimentRunner
+
+#: Paper reference values read off Figure 5 (approximate, for the
+#: paper-vs-measured table in EXPERIMENTS.md, not for assertions).
+PAPER_FIGURE5_REFERENCE = {
+    3: {11: (0.32, 0.16), 15: (0.29, 0.15), 21: (0.18, 0.09)},
+    5: {11: (0.32, 0.15), 15: (0.29, 0.14), 21: (0.18, 0.10)},
+}
+
+
+@dataclass(frozen=True)
+class Figure5Cell:
+    """One (size, algorithm-pair) measurement of the figure."""
+
+    size: int
+    protectionless: CaptureStats
+    slp: CaptureStats
+
+    @property
+    def reduction(self) -> float:
+        """Relative capture reduction SLP achieves at this size."""
+        return self.slp.reduction_versus(self.protectionless)
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """One full panel (one search distance) of Figure 5."""
+
+    search_distance: int
+    repeats: int
+    cells: Tuple[Figure5Cell, ...]
+
+    def cell(self, size: int) -> Figure5Cell:
+        """The measurement for one grid size."""
+        for cell in self.cells:
+            if cell.size == size:
+                return cell
+        raise ConfigurationError(f"no cell for size {size} in this panel")
+
+    @property
+    def mean_reduction(self) -> float:
+        """Mean relative reduction across sizes — the headline number."""
+        reductions = [c.reduction for c in self.cells if c.protectionless.captures]
+        if not reductions:
+            return 0.0
+        return sum(reductions) / len(reductions)
+
+
+def run_figure5(
+    search_distance: int,
+    sizes: Sequence[int] = PAPER_SIZES,
+    repeats: int = 30,
+    base_seed: int = 0,
+    noise: object = "casino",
+    attacker: Optional[AttackerSpec] = None,
+    parameters: PaperParameters = PAPER,
+) -> Figure5Result:
+    """Regenerate one panel of Figure 5.
+
+    Parameters mirror the paper's setup; reduce ``repeats`` or ``sizes``
+    for quick runs (the benchmarks do).
+    """
+    cells = []
+    for size in sizes:
+        runner = ExperimentRunner(paper_grid(size))
+        base = runner.run(
+            ExperimentConfig(
+                algorithm=PROTECTIONLESS,
+                repeats=repeats,
+                base_seed=base_seed,
+                noise=noise,
+                attacker=attacker,
+                parameters=parameters,
+            )
+        )
+        slp = runner.run(
+            ExperimentConfig(
+                algorithm=SLP,
+                search_distance=search_distance,
+                repeats=repeats,
+                base_seed=base_seed,
+                noise=noise,
+                attacker=attacker,
+                parameters=parameters,
+            )
+        )
+        cells.append(
+            Figure5Cell(size=size, protectionless=base.stats, slp=slp.stats)
+        )
+    return Figure5Result(
+        search_distance=search_distance,
+        repeats=repeats,
+        cells=tuple(cells),
+    )
+
+
+def format_figure5(result: Figure5Result) -> str:
+    """Render a panel as the text analogue of the paper's bar chart."""
+    lines = [
+        f"Figure 5{'a' if result.search_distance == 3 else 'b'}: "
+        f"capture ratio (%), search distance = {result.search_distance}, "
+        f"{result.repeats} runs per bar",
+        "",
+        f"{'Size':<6} {'Protectionless':>16} {'SLP DAS':>10} {'Reduction':>11}",
+        "-" * 47,
+    ]
+    for cell in result.cells:
+        lines.append(
+            f"{cell.size:<6} "
+            f"{100 * cell.protectionless.capture_ratio:>15.1f}% "
+            f"{100 * cell.slp.capture_ratio:>9.1f}% "
+            f"{100 * cell.reduction:>10.1f}%"
+        )
+    lines.append("-" * 47)
+    lines.append(f"mean reduction: {100 * result.mean_reduction:.1f}%")
+    return "\n".join(lines)
+
+
+def headline_reduction(
+    repeats: int = 30,
+    sizes: Sequence[int] = PAPER_SIZES,
+    base_seed: int = 0,
+    noise: object = "casino",
+) -> Dict[int, float]:
+    """The §VI-E headline: mean capture-ratio reduction per search
+    distance (the paper reports ~50%)."""
+    return {
+        sd: run_figure5(
+            sd, sizes=sizes, repeats=repeats, base_seed=base_seed, noise=noise
+        ).mean_reduction
+        for sd in PAPER.search_distances
+    }

@@ -1,0 +1,183 @@
+"""The repeated-run experiment engine behind every figure and table.
+
+One *run* of an experiment (matching one TOSSIM execution in the paper)
+is: build a schedule for the chosen algorithm under a fresh seed,
+simulate the operational phase against the attacker, record the
+outcome.  :class:`ExperimentRunner` sweeps seeds and aggregates runs
+into :class:`~repro.metrics.CaptureStats`.
+
+Schedules come from the seeded centralised pipeline by default — one
+seed reproduces one plausible outcome of the distributed protocols at a
+fraction of the cost (the distributed protocols are validated
+separately; see DESIGN.md).  Passing ``use_distributed=True`` runs the
+full message-level setup instead, which the examples demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..app import OperationalResult, run_operational_phase
+from ..attacker import AttackerSpec
+from ..core import Schedule
+from ..das import centralized_das_schedule, run_das_setup
+from ..errors import ConfigurationError
+from ..metrics import CaptureStats, capture_stats
+from ..simulator import CasinoLabNoise, NoiseModel
+from ..slp import (
+    SlpParameters,
+    SlpProtocolConfig,
+    build_slp_schedule,
+    run_slp_setup,
+)
+from ..topology import Topology
+from .config import PAPER, PaperParameters
+
+#: Algorithm identifiers (the two bars of Figure 5).
+PROTECTIONLESS = "protectionless"
+SLP = "slp"
+ALGORITHMS = (PROTECTIONLESS, SLP)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell: topology × algorithm × parameters.
+
+    Attributes
+    ----------
+    algorithm:
+        :data:`PROTECTIONLESS` or :data:`SLP`.
+    search_distance:
+        ``SD`` for the SLP algorithm (ignored for protectionless).
+    repeats:
+        Number of seeded runs to aggregate.
+    base_seed:
+        Seed of the first run; run ``i`` uses ``base_seed + i``.
+    noise:
+        ``"casino"`` (default, the paper's noise), ``"ideal"``, or a
+        concrete :class:`~repro.simulator.NoiseModel` instance.
+    attacker:
+        Attacker parameters; ``None`` = the paper's (1,0,1,s0,D).
+    use_distributed:
+        Build schedules with the full message-level protocols instead of
+        the centralised pipeline.
+    parameters:
+        The Table I constants in force.
+    """
+
+    algorithm: str = PROTECTIONLESS
+    search_distance: int = 3
+    repeats: int = 30
+    base_seed: int = 0
+    noise: object = "casino"
+    attacker: Optional[AttackerSpec] = None
+    use_distributed: bool = False
+    parameters: PaperParameters = field(default_factory=lambda: PAPER)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; pick one of {ALGORITHMS}"
+            )
+        if self.repeats < 1:
+            raise ConfigurationError("an experiment needs at least one repeat")
+
+    def make_noise(self) -> Optional[NoiseModel]:
+        """Instantiate a fresh noise model for one run."""
+        if isinstance(self.noise, NoiseModel):
+            return self.noise
+        if self.noise == "casino":
+            return CasinoLabNoise()
+        if self.noise == "ideal":
+            return None
+        raise ConfigurationError(f"unknown noise spec {self.noise!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """All runs of one experiment cell plus their aggregation."""
+
+    config: ExperimentConfig
+    topology_name: str
+    results: Sequence[OperationalResult]
+    stats: CaptureStats
+
+
+class ExperimentRunner:
+    """Sweeps seeds for one topology and experiment configuration."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+
+    @property
+    def topology(self) -> Topology:
+        """The network under test."""
+        return self._topology
+
+    # ------------------------------------------------------------------
+    # Schedule construction
+    # ------------------------------------------------------------------
+    def build_schedule(self, config: ExperimentConfig, seed: int) -> Schedule:
+        """Build the run's schedule for the configured algorithm."""
+        params = config.parameters
+        if config.algorithm == PROTECTIONLESS:
+            if config.use_distributed:
+                return run_das_setup(
+                    self._topology,
+                    config=params.das_config(),
+                    seed=seed,
+                    noise=config.make_noise(),
+                ).schedule
+            return centralized_das_schedule(
+                self._topology, num_slots=params.num_slots, seed=seed
+            )
+        # SLP DAS.
+        if config.use_distributed:
+            slp_config = SlpProtocolConfig(
+                das=params.das_config(),
+                search_distance=config.search_distance,
+                change_length=params.change_length(
+                    self._topology, config.search_distance
+                ),
+            )
+            return run_slp_setup(
+                self._topology,
+                config=slp_config,
+                seed=seed,
+                noise=config.make_noise(),
+            ).schedule
+        return build_slp_schedule(
+            self._topology,
+            SlpParameters(search_distance=config.search_distance),
+            num_slots=params.num_slots,
+            seed=seed,
+        ).schedule
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_once(self, config: ExperimentConfig, seed: int) -> OperationalResult:
+        """Build a schedule and run the operational phase once."""
+        schedule = self.build_schedule(config, seed)
+        return run_operational_phase(
+            self._topology,
+            schedule,
+            attacker=config.attacker,
+            noise=config.make_noise(),
+            seed=seed,
+            frame=config.parameters.frame(),
+            safety_factor=config.parameters.safety_factor,
+        )
+
+    def run(self, config: ExperimentConfig) -> ExperimentOutcome:
+        """Run all repeats and aggregate."""
+        results: List[OperationalResult] = []
+        for i in range(config.repeats):
+            results.append(self.run_once(config, config.base_seed + i))
+        return ExperimentOutcome(
+            config=config,
+            topology_name=self._topology.name,
+            results=tuple(results),
+            stats=capture_stats(results),
+        )

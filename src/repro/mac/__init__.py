@@ -1,0 +1,6 @@
+"""TDMA MAC layer: frame geometry and the slot-event driver."""
+
+from .frame import TdmaFrame
+from .tdma import TdmaClient, TdmaDriver
+
+__all__ = ["TdmaClient", "TdmaDriver", "TdmaFrame"]

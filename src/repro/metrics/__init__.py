@@ -1,0 +1,28 @@
+"""Evaluation metrics: capture ratio (Figure 5), message overhead
+(§VII's "negligible overhead" claim) and convergecast quality guards."""
+
+from .capture import CaptureStats, capture_stats
+from .collector import Summary, summarise
+from .energy import (
+    EnergyModel,
+    EnergyReport,
+    estimate_lifetime_periods,
+    measure_energy,
+)
+from .latency import AggregationStats, aggregation_stats, schedule_latency_periods
+from .overhead import MessageOverhead
+
+__all__ = [
+    "AggregationStats",
+    "CaptureStats",
+    "EnergyModel",
+    "EnergyReport",
+    "MessageOverhead",
+    "Summary",
+    "aggregation_stats",
+    "capture_stats",
+    "estimate_lifetime_periods",
+    "measure_energy",
+    "schedule_latency_periods",
+    "summarise",
+]

@@ -1,0 +1,70 @@
+"""Capture-ratio statistics — the metric of Figure 5.
+
+§VI-D: "Capture ratio is the ratio of runs in which the attacker
+manages to capture the source before the safety period ends."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..app import OperationalResult
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CaptureStats:
+    """Aggregated capture statistics over repeated runs.
+
+    Attributes
+    ----------
+    runs:
+        Number of repeats aggregated.
+    captures:
+        Runs in which the attacker reached the source in time.
+    capture_ratio:
+        ``captures / runs`` — the y-axis of Figure 5.
+    mean_capture_period:
+        Mean period index of the captures (``None`` with zero captures).
+    mean_attacker_moves:
+        Mean number of attacker moves per run, captured or not.
+    """
+
+    runs: int
+    captures: int
+    capture_ratio: float
+    mean_capture_period: Optional[float]
+    mean_attacker_moves: float
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI for the capture ratio (default 95%)."""
+        if self.runs == 0:
+            return (0.0, 0.0)
+        p = self.capture_ratio
+        half = z * math.sqrt(max(p * (1 - p), 0.0) / self.runs)
+        return (max(0.0, p - half), min(1.0, p + half))
+
+    def reduction_versus(self, baseline: "CaptureStats") -> float:
+        """Relative capture-ratio reduction against ``baseline`` (the
+        paper's headline: SLP DAS "reduces the capture ratio by 50%")."""
+        if baseline.capture_ratio == 0.0:
+            return 0.0
+        return 1.0 - self.capture_ratio / baseline.capture_ratio
+
+
+def capture_stats(results: Sequence[OperationalResult]) -> CaptureStats:
+    """Fold repeated operational runs into :class:`CaptureStats`."""
+    if not results:
+        raise ConfigurationError("cannot aggregate zero runs")
+    captures = [r for r in results if r.captured]
+    periods = [r.capture_period for r in captures if r.capture_period is not None]
+    moves = [max(len(r.attacker_path) - 1, 0) for r in results]
+    return CaptureStats(
+        runs=len(results),
+        captures=len(captures),
+        capture_ratio=len(captures) / len(results),
+        mean_capture_period=(sum(periods) / len(periods)) if periods else None,
+        mean_attacker_moves=sum(moves) / len(moves),
+    )

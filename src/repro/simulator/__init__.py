@@ -1,0 +1,59 @@
+"""Discrete event simulation substrate (the TOSSIM replacement).
+
+Provides the event engine, per-node protocol processes with FIFO
+channels and timers (matching the paper's guarded-command model), the
+shared radio medium with pluggable noise models, and structured run
+tracing from which all metrics are computed.
+"""
+
+from .channel import Channel, Delivery
+from .event import Event, EventHandle
+from .event_queue import EventQueue
+from .noise import BernoulliNoise, CasinoLabNoise, IdealNoise, NoiseModel
+from .process import Process
+from .radio import Eavesdropper, RadioMedium
+from .simulator import Simulator
+from .trace import (
+    ATTACKER_HEAR,
+    ATTACKER_MOVE,
+    CAPTURE,
+    COLLIDE,
+    DELIVER,
+    DROP,
+    PERIOD_START,
+    PHASE,
+    SEND,
+    SLOT_ASSIGNED,
+    SLOT_CHANGED,
+    TraceRecord,
+    TraceRecorder,
+)
+
+__all__ = [
+    "ATTACKER_HEAR",
+    "ATTACKER_MOVE",
+    "BernoulliNoise",
+    "CAPTURE",
+    "COLLIDE",
+    "CasinoLabNoise",
+    "Channel",
+    "DELIVER",
+    "DROP",
+    "Delivery",
+    "Eavesdropper",
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "IdealNoise",
+    "NoiseModel",
+    "PERIOD_START",
+    "PHASE",
+    "Process",
+    "RadioMedium",
+    "SEND",
+    "SLOT_ASSIGNED",
+    "SLOT_CHANGED",
+    "Simulator",
+    "TraceRecord",
+    "TraceRecorder",
+]

@@ -1,0 +1,51 @@
+"""Events and event handles for the discrete event engine.
+
+An event is a callback bound to a simulated timestamp.  Events at equal
+timestamps execute in scheduling order (a monotonically increasing
+sequence number breaks ties), which gives deterministic runs for a fixed
+seed — essential for reproducible experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+
+class EventHandle:
+    """A caller-facing handle that allows cancelling a pending event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulated time at which the event will fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True

@@ -1,0 +1,65 @@
+"""A binary-heap future event list.
+
+The queue is the heart of the discrete event simulator: events pop in
+``(time, seq)`` order, cancelled events are dropped lazily on pop (the
+standard heapq idiom — cancellation is O(1), cleanup amortised).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .event import Event, EventHandle
+
+
+class EventQueue:
+    """A future event list ordered by ``(time, sequence)``."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def empty(self) -> bool:
+        """Whether no live (non-cancelled) events remain."""
+        self._drop_cancelled_head()
+        return not self._heap
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at simulated ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time}")
+        event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` when empty."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,138 @@
+"""Link noise models.
+
+The paper evaluates under TOSSIM with an "ideal communication model" and
+the *casino-lab* noise trace (§VI-A).  We cannot replay the original
+trace file offline, so this module substitutes parametric models that
+reproduce the two behaviours the algorithms are sensitive to:
+
+* occasional message loss (affects what the attacker hears and which
+  dissemination messages arrive), and
+* *bursts* of correlated loss, which the casino-lab trace exhibits —
+  modelled here with a two-state Gilbert–Elliott chain.
+
+Models are stateless with respect to the simulator: they receive the
+run's ``random.Random`` so that all stochasticity flows from one seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..topology import NodeId
+
+
+class NoiseModel(ABC):
+    """Decides, per transmission and per receiver, whether a frame arrives."""
+
+    @abstractmethod
+    def delivers(self, sender: NodeId, receiver: NodeId, rng: random.Random) -> bool:
+        """Return ``True`` when the frame from ``sender`` reaches ``receiver``."""
+
+    def reset(self) -> None:
+        """Clear any per-run state.  Called once per simulation run."""
+
+
+class IdealNoise(NoiseModel):
+    """The paper's ideal communication model: every frame arrives."""
+
+    def delivers(self, sender: NodeId, receiver: NodeId, rng: random.Random) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "IdealNoise()"
+
+
+class BernoulliNoise(NoiseModel):
+    """Independent per-frame loss with fixed probability.
+
+    The simplest lossy model; useful for ablations where loss rate is the
+    swept variable.
+    """
+
+    def __init__(self, loss_probability: float) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1), got {loss_probability}"
+            )
+        self.loss_probability = loss_probability
+
+    def delivers(self, sender: NodeId, receiver: NodeId, rng: random.Random) -> bool:
+        return rng.random() >= self.loss_probability
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BernoulliNoise(loss_probability={self.loss_probability})"
+
+
+class CasinoLabNoise(NoiseModel):
+    """Bursty loss approximating TOSSIM's casino-lab noise trace.
+
+    Each directed link evolves through a two-state Gilbert–Elliott chain:
+    a *good* state with light loss and a *bad* state with heavy loss.
+    Defaults are calibrated so the long-run loss rate is a few percent —
+    enough to perturb attacker hearing and dissemination order between
+    runs, as the original trace does, without partitioning the network.
+
+    Parameters
+    ----------
+    good_loss, bad_loss:
+        Per-frame loss probability in each state.
+    p_good_to_bad, p_bad_to_good:
+        Per-frame state transition probabilities.
+    """
+
+    def __init__(
+        self,
+        good_loss: float = 0.005,
+        bad_loss: float = 0.25,
+        p_good_to_bad: float = 0.03,
+        p_bad_to_good: float = 0.50,
+    ) -> None:
+        for name, value in (
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1), got {value}")
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1], got {value}")
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        #: per-directed-link state; True means the link is in the bad state.
+        self._bad: Dict[Tuple[NodeId, NodeId], bool] = {}
+
+    def expected_loss_rate(self) -> float:
+        """Long-run average loss probability of a link (stationary mix)."""
+        stationary_bad = self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+        return stationary_bad * self.bad_loss + (1 - stationary_bad) * self.good_loss
+
+    def delivers(self, sender: NodeId, receiver: NodeId, rng: random.Random) -> bool:
+        link = (sender, receiver)
+        bad = self._bad.get(link, False)
+        # Advance the chain once per frame on this link.
+        if bad:
+            if rng.random() < self.p_bad_to_good:
+                bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                bad = True
+        self._bad[link] = bad
+        loss = self.bad_loss if bad else self.good_loss
+        return rng.random() >= loss
+
+    def reset(self) -> None:
+        self._bad.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CasinoLabNoise(good_loss={self.good_loss}, bad_loss={self.bad_loss}, "
+            f"p_good_to_bad={self.p_good_to_bad}, p_bad_to_good={self.p_bad_to_good})"
+        )

@@ -1,0 +1,181 @@
+"""The shared wireless medium.
+
+A broadcast by node ``n`` is offered to every 1-hop neighbour of ``n``
+(the unit-disk model of §III-A); each directed delivery independently
+passes through the run's :class:`~repro.simulator.noise.NoiseModel`.
+Eavesdroppers — attacker processes that are not part of the network —
+can attach to the medium and overhear any transmission whose sender is
+within range of their current location.
+
+An optional collision window models concurrent-transmission loss: when
+two frames would arrive at one receiver within ``collision_window``
+seconds, both are destroyed.  TDMA operation is collision-free by
+construction, so the window mainly matters for the dissemination phase
+and is disabled by default (TinyOS disseminations are CSMA-spaced, which
+our per-node jitter reproduces).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from ..topology import NodeId, Topology
+from . import trace as trace_kinds
+from .noise import IdealNoise, NoiseModel
+from .trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import Simulator
+
+
+class Eavesdropper(Protocol):
+    """Anything that can overhear the medium (the attacker)."""
+
+    @property
+    def location(self) -> NodeId:
+        """The node position the eavesdropper currently occupies."""
+        ...
+
+    def overhear(self, sender: NodeId, message: Any, time: float) -> None:
+        """Called for every transmission audible at ``location``."""
+        ...
+
+
+class RadioMedium:
+    """Broadcast delivery over a :class:`~repro.topology.Topology`.
+
+    Parameters
+    ----------
+    simulator:
+        The owning engine (provides the clock, RNG and event queue).
+    topology:
+        Connectivity; receivers of a broadcast are the sender's 1-hop
+        neighbours.
+    noise:
+        Per-directed-delivery loss model.  Defaults to the ideal model.
+    propagation_delay:
+        Fixed sender→receiver latency in seconds.  Radio propagation at
+        4.5 m is sub-microsecond; the default stands in for transmit and
+        processing time and merely keeps deliveries strictly after sends.
+    collision_window:
+        When positive, two frames arriving at the same receiver within
+        this many seconds destroy each other.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        topology: Topology,
+        noise: Optional[NoiseModel] = None,
+        propagation_delay: float = 1e-4,
+        collision_window: float = 0.0,
+    ) -> None:
+        self._sim = simulator
+        self._topology = topology
+        self._noise = noise if noise is not None else IdealNoise()
+        self._propagation_delay = propagation_delay
+        self._collision_window = collision_window
+        self._receivers: Dict[NodeId, Callable[[NodeId, Any, float], None]] = {}
+        self._eavesdroppers: List[Eavesdropper] = []
+        #: receiver → time of last arrival, for the collision window.
+        self._last_arrival: Dict[NodeId, float] = {}
+
+    @property
+    def topology(self) -> Topology:
+        """The connectivity graph deliveries follow."""
+        return self._topology
+
+    @property
+    def noise(self) -> NoiseModel:
+        """The active noise model."""
+        return self._noise
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(
+        self, node: NodeId, on_deliver: Callable[[NodeId, Any, float], None]
+    ) -> None:
+        """Register the delivery callback for ``node``'s channel."""
+        self._receivers[node] = on_deliver
+
+    def detach(self, node: NodeId) -> None:
+        """Remove ``node`` from the medium (e.g. node failure injection)."""
+        self._receivers.pop(node, None)
+
+    def attach_eavesdropper(self, eavesdropper: Eavesdropper) -> None:
+        """Let ``eavesdropper`` overhear transmissions near its location."""
+        self._eavesdroppers.append(eavesdropper)
+
+    def detach_eavesdropper(self, eavesdropper: Eavesdropper) -> None:
+        """Stop delivering overheard frames to ``eavesdropper``."""
+        self._eavesdroppers = [e for e in self._eavesdroppers if e is not eavesdropper]
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def broadcast(self, sender: NodeId, message: Any) -> None:
+        """Transmit ``message`` from ``sender`` to all nodes in range.
+
+        Every attached neighbour receives an independent delivery event
+        (after noise); every eavesdropper whose location is the sender or
+        one of its neighbours overhears the frame at transmission time.
+        """
+        now = self._sim.now
+        rng = self._sim.rng
+        self._sim.trace.record(now, trace_kinds.SEND, sender=sender, message=message)
+
+        for receiver in self._topology.neighbours(sender):
+            callback = self._receivers.get(receiver)
+            if callback is None:
+                continue
+            if not self._noise.delivers(sender, receiver, rng):
+                self._sim.trace.record(
+                    now, trace_kinds.DROP, sender=sender, receiver=receiver
+                )
+                continue
+            self._sim.schedule_after(
+                self._propagation_delay,
+                self._deliver,
+                (sender, receiver, message, callback),
+            )
+
+        audible = set(self._topology.neighbours(sender))
+        audible.add(sender)
+        for eavesdropper in list(self._eavesdroppers):
+            if eavesdropper.location in audible:
+                if self._noise.delivers(sender, -1, rng):
+                    self._sim.trace.record(
+                        now,
+                        trace_kinds.ATTACKER_HEAR,
+                        sender=sender,
+                        location=eavesdropper.location,
+                    )
+                    eavesdropper.overhear(sender, message, now)
+
+    def _deliver(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        message: Any,
+        callback: Callable[[NodeId, Any, float], None],
+    ) -> None:
+        now = self._sim.now
+        if self._collision_window > 0.0:
+            last = self._last_arrival.get(receiver)
+            self._last_arrival[receiver] = now
+            if last is not None and now - last < self._collision_window:
+                self._sim.trace.record(
+                    now, trace_kinds.COLLIDE, sender=sender, receiver=receiver
+                )
+                return
+        self._sim.trace.record(
+            now, trace_kinds.DELIVER, sender=sender, receiver=receiver
+        )
+        callback(sender, message, now)
+
+    def reset(self) -> None:
+        """Clear per-run medium state (noise chains, collision clocks)."""
+        self._noise.reset()
+        self._last_arrival.clear()

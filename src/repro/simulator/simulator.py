@@ -1,0 +1,215 @@
+"""The discrete event simulation engine.
+
+This is the substrate substituting for TOSSIM: a single-threaded future
+event list executor with a shared radio medium, per-node processes,
+seeded randomness and structured tracing.  Determinism contract: two
+runs with equal topology, processes, noise model and seed execute the
+same event sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import SimulationError
+from ..topology import NodeId, Topology
+from .event import EventHandle
+from .event_queue import EventQueue
+from .noise import NoiseModel
+from .process import Process
+from .radio import RadioMedium
+from .trace import TraceRecorder
+
+
+class Simulator:
+    """A discrete event simulator over one WSN topology.
+
+    Parameters
+    ----------
+    topology:
+        The network the radio medium delivers over.
+    noise:
+        Link noise model; defaults to the paper's ideal model.
+    seed:
+        Seed of the run's single RNG.  All stochastic choices (noise,
+        protocol jitter, attacker tie-breaks) draw from this generator.
+    trace_kinds:
+        Optional filter restricting which trace kinds are retained in
+        full (counts are always kept); ``None`` keeps everything.
+    collision_window:
+        Forwarded to :class:`RadioMedium`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        noise: Optional[NoiseModel] = None,
+        seed: Optional[int] = None,
+        trace_kinds: Optional[frozenset] = None,
+        collision_window: float = 0.0,
+    ) -> None:
+        self._topology = topology
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._rng = random.Random(seed)
+        self._trace = TraceRecorder(kinds=trace_kinds)
+        self._radio = RadioMedium(
+            self,
+            topology,
+            noise=noise,
+            collision_window=collision_window,
+        )
+        self._processes: Dict[NodeId, Process] = {}
+        self._started = False
+        self._events_executed = 0
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        """The simulated network."""
+        return self._topology
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def rng(self) -> random.Random:
+        """The run's seeded random generator."""
+        return self._rng
+
+    @property
+    def trace(self) -> TraceRecorder:
+        """The structured run log."""
+        return self._trace
+
+    @property
+    def radio(self) -> RadioMedium:
+        """The shared wireless medium."""
+        return self._radio
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events fired so far."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    def process_at(self, node: NodeId) -> Process:
+        """The process registered at ``node``."""
+        try:
+            return self._processes[node]
+        except KeyError as exc:
+            raise SimulationError(f"no process registered at node {node}") from exc
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def register_process(self, process: Process) -> None:
+        """Attach a protocol process to its node and the radio."""
+        node = process.node
+        if node not in self._topology:
+            raise SimulationError(
+                f"cannot register a process at unknown node {node}"
+            )
+        if node in self._processes:
+            raise SimulationError(f"a process is already registered at node {node}")
+        process.bind(self)
+        self._processes[node] = process
+        self._radio.attach(node, process.deliver)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time}; simulated time is {self._now}"
+            )
+        return self._queue.push(time, callback, args)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def request_stop(self) -> None:
+        """Ask the run loop to stop after the current event completes.
+
+        Used by terminal conditions such as source capture: the attacker
+        harness calls this instead of draining the queue itself.
+        """
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _start_processes(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._radio.reset()
+        for node in sorted(self._processes):
+            self._processes[node].start()
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when none remain."""
+        self._start_processes()
+        if self._queue.empty:
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        event.fire()
+        self._events_executed += 1
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue drains, ``until`` passes, or
+        ``max_events`` have executed (whichever comes first).
+
+        ``until`` is inclusive: events scheduled exactly at ``until``
+        still fire; on exit the clock is advanced to ``until`` if the
+        run exhausted earlier events.
+        """
+        self._start_processes()
+        self._stop_requested = False
+        executed = 0
+        while not self._stop_requested:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue.pop()
+            self._now = event.time
+            event.fire()
+            self._events_executed += 1
+            executed += 1
+        if until is not None and self._now < until and not self._stop_requested:
+            self._now = until

@@ -1,0 +1,43 @@
+"""Source location privacy: Phases 2 and 3 and the full 3-phase pipeline.
+
+* :func:`locate_redirection_node` / :func:`refine_slots` — centralised
+  Phase 2 and Phase 3;
+* :func:`build_slp_schedule` — the full centralised pipeline;
+* :class:`SlpNodeProcess` / :func:`run_slp_setup` — the faithful
+  distributed 3-phase protocol on the simulator.
+"""
+
+from .distributed import (
+    SlpNodeProcess,
+    SlpProtocolConfig,
+    SlpSetupResult,
+    run_slp_setup,
+)
+from .messages import ChangeMessage, SearchMessage
+from .protocol import (
+    PAPER_SEARCH_DISTANCES,
+    SlpBuildResult,
+    SlpParameters,
+    build_slp_schedule,
+    default_change_length,
+)
+from .refine import RefinementResult, refine_slots
+from .search import SearchResult, locate_redirection_node
+
+__all__ = [
+    "ChangeMessage",
+    "PAPER_SEARCH_DISTANCES",
+    "RefinementResult",
+    "SearchMessage",
+    "SearchResult",
+    "SlpBuildResult",
+    "SlpNodeProcess",
+    "SlpParameters",
+    "SlpProtocolConfig",
+    "SlpSetupResult",
+    "build_slp_schedule",
+    "default_change_length",
+    "locate_redirection_node",
+    "refine_slots",
+    "run_slp_setup",
+]

@@ -1,0 +1,28 @@
+"""WSN topology substrate.
+
+The paper models a WSN as an undirected graph with a unit-disk
+communication model (§III-A) and evaluates on square grids (§VI-A).
+This package provides the graph abstraction plus the concrete layouts
+used by the tests, examples and benchmark harness.
+"""
+
+from .grid import PAPER_GRID_SIZES, PAPER_NODE_SPACING_M, GridTopology, paper_grid
+from .line import LineTopology
+from .node import Coordinate, NodeId, Placement
+from .random_geometric import random_geometric_topology
+from .ring import RingTopology
+from .topology import Topology
+
+__all__ = [
+    "Coordinate",
+    "GridTopology",
+    "LineTopology",
+    "NodeId",
+    "PAPER_GRID_SIZES",
+    "PAPER_NODE_SPACING_M",
+    "Placement",
+    "RingTopology",
+    "Topology",
+    "paper_grid",
+    "random_geometric_topology",
+]

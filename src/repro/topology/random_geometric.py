@@ -1,0 +1,96 @@
+"""Random geometric (unit-disk) topologies.
+
+The paper's system model (§III-A) is the classic unit-disk model:
+identical circular communication ranges, a link wherever two nodes are
+within range.  :func:`random_geometric_topology` samples node positions
+uniformly in a square and applies that model, retrying until the sampled
+graph is connected — WSN deployments in the SLP literature are always
+assumed connected, since a partitioned network cannot convergecast.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import TopologyError
+from .node import Coordinate, NodeId
+from .topology import Topology
+
+#: Upper bound on connectivity retries before giving up.
+_MAX_ATTEMPTS = 200
+
+
+def random_geometric_topology(
+    num_nodes: int,
+    area_side: float,
+    communication_range: float,
+    seed: Optional[int] = None,
+    source: Optional[NodeId] = None,
+    sink: Optional[NodeId] = None,
+    max_attempts: int = _MAX_ATTEMPTS,
+) -> Topology:
+    """Sample a connected unit-disk WSN in an ``area_side``² square.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of sensor nodes to place.
+    area_side:
+        Side length of the deployment square, in metres.
+    communication_range:
+        Shared circular communication range, in metres.
+    seed:
+        Seed for the position sampler; runs are reproducible given a seed.
+    source, sink:
+        Role assignment.  Defaults: the sink is the node closest to the
+        centre of the area (mirroring the paper's centre-sink grids) and
+        the source is the node farthest from the sink.
+    max_attempts:
+        How many samples to draw before declaring the parameters
+        infeasible (range too small for connectivity).
+    """
+    if num_nodes < 2:
+        raise TopologyError("a random topology needs at least 2 nodes")
+    if area_side <= 0 or communication_range <= 0:
+        raise TopologyError("area side and communication range must be positive")
+    if max_attempts < 1:
+        raise TopologyError("max_attempts must be at least 1")
+
+    rng = random.Random(seed)
+    last_error: Optional[Exception] = None
+    for _ in range(max_attempts):
+        positions = {
+            node: Coordinate(rng.uniform(0, area_side), rng.uniform(0, area_side))
+            for node in range(num_nodes)
+        }
+        chosen_sink = sink
+        if chosen_sink is None:
+            centre = Coordinate(area_side / 2.0, area_side / 2.0)
+            chosen_sink = min(positions, key=lambda n: positions[n].distance_to(centre))
+        try:
+            topology = Topology.from_unit_disk(
+                positions,
+                communication_range,
+                sink=chosen_sink,
+                source=None,
+                name=f"random-{num_nodes}",
+            )
+        except TopologyError as exc:
+            last_error = exc
+            continue
+        chosen_source = source
+        if chosen_source is None:
+            chosen_source = max(
+                topology.nodes,
+                key=lambda n: (topology.sink_distance(n), n),
+            )
+        if chosen_source == chosen_sink:
+            last_error = TopologyError("degenerate sample: source equals sink")
+            continue
+        return topology.with_source(chosen_source)
+
+    raise TopologyError(
+        f"could not sample a connected unit-disk network after {max_attempts} "
+        f"attempts (n={num_nodes}, side={area_side}, range={communication_range})"
+    ) from last_error

@@ -1,0 +1,312 @@
+"""The :class:`Topology` abstraction: a WSN as an undirected graph.
+
+The paper models a WSN as an undirected graph ``G = (V, E)`` whose
+vertices are sensor nodes and whose edges are symmetric communication
+links (§III-A).  :class:`Topology` wraps a :mod:`networkx` graph and adds
+the queries the scheduling and privacy algorithms need:
+
+* 1-hop neighbourhoods,
+* 2-hop *collision* neighbourhoods ``CG(n)`` (Definition 1),
+* hop distances and shortest-path structure toward the sink,
+* the designated source and sink roles.
+
+Instances are immutable after construction: the algorithms in this
+library never rewire a network mid-run, and immutability lets expensive
+derived data (BFS distance maps, 2-hop sets) be cached safely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError
+from .node import Coordinate, NodeId
+
+
+class Topology:
+    """An immutable WSN topology with designated source and sink.
+
+    Parameters
+    ----------
+    graph:
+        The undirected communication graph.  A defensive copy is taken.
+    sink:
+        The node that collects aggregated data (the base station).
+    source:
+        The node that detects the asset and originates data messages.
+        May be ``None`` for topologies used purely for schedule
+        construction; most privacy queries require it.
+    positions:
+        Optional mapping of node to physical :class:`Coordinate`.  When
+        omitted, nodes are laid out on a unit circle purely so that the
+        visualiser has something to draw.
+    name:
+        Human-readable topology name used in reports.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        sink: NodeId,
+        source: Optional[NodeId] = None,
+        positions: Optional[Mapping[NodeId, Coordinate]] = None,
+        name: str = "topology",
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("a topology must contain at least one node")
+        if not nx.is_connected(graph):
+            raise TopologyError("the communication graph must be connected")
+        if sink not in graph:
+            raise TopologyError(f"sink {sink!r} is not a node of the graph")
+        if source is not None and source not in graph:
+            raise TopologyError(f"source {source!r} is not a node of the graph")
+        if source is not None and source == sink:
+            raise TopologyError("source and sink must be distinct nodes")
+
+        self._graph = nx.freeze(graph.copy())
+        self._sink = sink
+        self._source = source
+        self._name = name
+        if positions is None:
+            self._positions: Dict[NodeId, Coordinate] = {}
+        else:
+            self._positions = {n: positions[n] for n in graph.nodes}
+
+        # Derived caches, computed lazily.
+        self._two_hop: Dict[NodeId, FrozenSet[NodeId]] = {}
+        self._sink_distance: Optional[Dict[NodeId, int]] = None
+        self._neighbour_cache: Dict[NodeId, Tuple[NodeId, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying (frozen) :class:`networkx.Graph`."""
+        return self._graph
+
+    @property
+    def name(self) -> str:
+        """Human-readable name for reports and plots."""
+        return self._name
+
+    @property
+    def sink(self) -> NodeId:
+        """The data-collecting node ``S`` of the paper."""
+        return self._sink
+
+    @property
+    def source(self) -> NodeId:
+        """The asset-detecting node; raises if the topology has none."""
+        if self._source is None:
+            raise TopologyError(f"topology {self._name!r} has no designated source")
+        return self._source
+
+    @property
+    def has_source(self) -> bool:
+        """Whether a source node was designated at construction time."""
+        return self._source is not None
+
+    def with_source(self, source: NodeId) -> "Topology":
+        """Return a copy of this topology with a different source node."""
+        return Topology(
+            nx.Graph(self._graph),
+            sink=self._sink,
+            source=source,
+            positions=self._positions or None,
+            name=self._name,
+        )
+
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """All node identifiers, in sorted order."""
+        return tuple(sorted(self._graph.nodes))
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """Number of communication links ``|E|``."""
+        return self._graph.number_of_edges()
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._graph
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        src = self._source if self._source is not None else "-"
+        return (
+            f"Topology({self._name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, sink={self._sink}, source={src})"
+        )
+
+    # ------------------------------------------------------------------
+    # Neighbourhoods
+    # ------------------------------------------------------------------
+    def _require_node(self, node: NodeId) -> None:
+        if node not in self._graph:
+            raise TopologyError(f"node {node!r} is not part of topology {self._name!r}")
+
+    def neighbours(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Return the 1-hop neighbours of ``node``, sorted by identifier."""
+        cached = self._neighbour_cache.get(node)
+        if cached is not None:
+            return cached
+        self._require_node(node)
+        result = tuple(sorted(self._graph.neighbors(node)))
+        self._neighbour_cache[node] = result
+        return result
+
+    def degree(self, node: NodeId) -> int:
+        """Return the number of 1-hop neighbours of ``node``."""
+        return len(self.neighbours(node))
+
+    def collision_neighbourhood(self, node: NodeId) -> FrozenSet[NodeId]:
+        """Return ``CG(n)``: nodes within 2 hops of ``node``, excluding it.
+
+        Definition 1 of the paper declares a slot *non-colliding* for a
+        node exactly when no member of its 2-hop neighbourhood shares the
+        slot; this is the classic hidden-terminal-safe TDMA constraint.
+        """
+        cached = self._two_hop.get(node)
+        if cached is not None:
+            return cached
+        self._require_node(node)
+        reach = {node}
+        for first in self._graph.neighbors(node):
+            reach.add(first)
+            reach.update(self._graph.neighbors(first))
+        reach.discard(node)
+        result = frozenset(reach)
+        self._two_hop[node] = result
+        return result
+
+    def are_linked(self, a: NodeId, b: NodeId) -> bool:
+        """Whether nodes ``a`` and ``b`` share a communication link."""
+        self._require_node(a)
+        self._require_node(b)
+        return self._graph.has_edge(a, b)
+
+    # ------------------------------------------------------------------
+    # Distances and paths
+    # ------------------------------------------------------------------
+    def sink_distance(self, node: NodeId) -> int:
+        """Hop distance from ``node`` to the sink.
+
+        Used pervasively: the DAS definitions (Defs. 2–3) constrain the
+        slots of neighbours *closer to the sink*, and the Phase 1 protocol
+        tracks every node's ``hop`` value.
+        """
+        if self._sink_distance is None:
+            self._sink_distance = dict(
+                nx.single_source_shortest_path_length(self._graph, self._sink)
+            )
+        self._require_node(node)
+        return self._sink_distance[node]
+
+    def source_sink_distance(self) -> int:
+        """Hop distance ``Δss`` between the designated source and the sink."""
+        return self.sink_distance(self.source)
+
+    def hop_distance(self, a: NodeId, b: NodeId) -> int:
+        """Hop distance between two arbitrary nodes."""
+        self._require_node(a)
+        self._require_node(b)
+        return nx.shortest_path_length(self._graph, a, b)
+
+    def diameter(self) -> int:
+        """Graph diameter in hops (longest shortest path)."""
+        return nx.diameter(self._graph)
+
+    def shortest_path_children(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Neighbours of ``node`` that are one hop *closer* to the sink.
+
+        These are the neighbours ``m`` for which ``n·m···S`` is a shortest
+        path — exactly the set quantified over in Def. 2 condition 3.
+        """
+        d = self.sink_distance(node)
+        return tuple(
+            m for m in self.neighbours(node) if self.sink_distance(m) == d - 1
+        )
+
+    def shortest_paths_to_sink(self, node: NodeId) -> List[List[NodeId]]:
+        """All shortest paths from ``node`` to the sink."""
+        self._require_node(node)
+        return [list(p) for p in nx.all_shortest_paths(self._graph, node, self._sink)]
+
+    def bfs_layers(self) -> List[List[NodeId]]:
+        """Nodes grouped by hop distance from the sink (layer 0 = sink)."""
+        layers: Dict[int, List[NodeId]] = {}
+        for node in self.nodes:
+            layers.setdefault(self.sink_distance(node), []).append(node)
+        return [sorted(layers[d]) for d in sorted(layers)]
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def has_positions(self) -> bool:
+        """Whether physical positions were provided."""
+        return bool(self._positions)
+
+    def position(self, node: NodeId) -> Coordinate:
+        """Physical position of ``node``; raises if unplaced."""
+        self._require_node(node)
+        try:
+            return self._positions[node]
+        except KeyError as exc:
+            raise TopologyError(f"node {node!r} has no physical position") from exc
+
+    def positions(self) -> Dict[NodeId, Coordinate]:
+        """A copy of the full node → position mapping."""
+        return dict(self._positions)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edges(
+        edges: Iterable[Tuple[NodeId, NodeId]],
+        sink: NodeId,
+        source: Optional[NodeId] = None,
+        name: str = "custom",
+    ) -> "Topology":
+        """Build a topology from an explicit edge list."""
+        graph = nx.Graph()
+        graph.add_edges_from(edges)
+        return Topology(graph, sink=sink, source=source, name=name)
+
+    @staticmethod
+    def from_unit_disk(
+        positions: Mapping[NodeId, Coordinate],
+        communication_range: float,
+        sink: NodeId,
+        source: Optional[NodeId] = None,
+        name: str = "unit-disk",
+    ) -> "Topology":
+        """Build a topology under the unit-disk model of §III-A.
+
+        Two nodes are linked exactly when their Euclidean distance is at
+        most ``communication_range``; every node is assumed to have the
+        same circular range, as in the paper's system model.
+        """
+        if communication_range <= 0:
+            raise TopologyError("communication range must be positive")
+        graph = nx.Graph()
+        graph.add_nodes_from(positions)
+        ids: Sequence[NodeId] = sorted(positions)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                if positions[a].distance_to(positions[b]) <= communication_range:
+                    graph.add_edge(a, b)
+        return Topology(graph, sink=sink, source=source, positions=positions, name=name)

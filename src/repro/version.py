@@ -1,0 +1,11 @@
+"""Version information for the ``repro`` package."""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER_TITLE = (
+    "Source Location Privacy-Aware Data Aggregation Scheduling "
+    "for Wireless Sensor Networks"
+)
+PAPER_AUTHORS = ("Jack Kirton", "Matthew Bradbury", "Arshad Jhumka")
+PAPER_VENUE = "37th IEEE International Conference on Distributed Computing Systems (ICDCS 2017)"

@@ -1,0 +1,63 @@
+"""Shared fixtures: small topologies and schedules used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Schedule
+from repro.das import centralized_das_schedule
+from repro.topology import GridTopology, LineTopology, RingTopology, Topology
+
+
+@pytest.fixture
+def line5() -> LineTopology:
+    """A 5-node line: 0(source) - 1 - 2 - 3 - 4(sink)."""
+    return LineTopology(5)
+
+
+@pytest.fixture
+def ring8() -> RingTopology:
+    """An 8-node ring, sink at 0, source antipodal at 4."""
+    return RingTopology(8)
+
+
+@pytest.fixture
+def grid5() -> GridTopology:
+    """A 5x5 grid with the paper's role placement (source 0, sink centre)."""
+    return GridTopology(5)
+
+
+@pytest.fixture
+def grid7() -> GridTopology:
+    """A 7x7 grid — big enough for search distance 3 redirections."""
+    return GridTopology(7)
+
+
+@pytest.fixture
+def tee() -> Topology:
+    """A 7-node tee: two branches joining into a stem toward the sink.
+
+    ::
+
+        0   2
+         \\ /
+          1
+          |
+          3 - 4 - 5(sink)
+          |
+          6
+    """
+    edges = [(0, 1), (2, 1), (1, 3), (3, 4), (4, 5), (3, 6)]
+    return Topology.from_edges(edges, sink=5, source=0, name="tee")
+
+
+@pytest.fixture
+def grid5_schedule(grid5: GridTopology) -> Schedule:
+    """A deterministic (jitter-free) strong DAS schedule on grid5."""
+    return centralized_das_schedule(grid5, seed=None, jitter=False)
+
+
+@pytest.fixture
+def line5_schedule(line5: LineTopology) -> Schedule:
+    """The canonical line schedule: slots descend away from the sink."""
+    return centralized_das_schedule(line5, seed=None, jitter=False)

@@ -1,0 +1,145 @@
+"""Unit tests for the (R, H, M, s0, D)-attacker (Figure 1)."""
+
+import random
+
+import pytest
+
+from repro.attacker import (
+    AttackerSpec,
+    AttackerState,
+    AvoidRecentlyVisited,
+    FollowAnyHeard,
+    FollowFirstHeard,
+    HeardMessage,
+    paper_attacker,
+)
+from repro.errors import ConfigurationError
+
+
+def hm(sender, slot, time=None):
+    return HeardMessage(sender=sender, slot=slot, time=float(slot if time is None else time))
+
+
+class TestSpec:
+    def test_paper_attacker_is_1_0_1(self):
+        spec = paper_attacker()
+        assert (spec.r, spec.h, spec.m) == (1, 0, 1)
+        assert isinstance(spec.decision, FollowFirstHeard)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AttackerSpec(messages_per_move=0)
+        with pytest.raises(ConfigurationError):
+            AttackerSpec(history_size=-1)
+        with pytest.raises(ConfigurationError):
+            AttackerSpec(moves_per_period=0)
+
+    def test_describe_uses_paper_notation(self):
+        assert paper_attacker().describe() == "(1, 0, 1, s0, FollowFirstHeard)-A"
+
+
+class TestDecisionFunctions:
+    def test_first_heard_picks_earliest(self):
+        rng = random.Random(0)
+        d = FollowFirstHeard()
+        heard = [hm(5, 9, time=2.0), hm(3, 1, time=1.0)]
+        assert d.choose(heard, (), rng) == 3
+        assert d.candidates(heard, ()) == frozenset({3})
+
+    def test_first_heard_empty_candidates(self):
+        assert FollowFirstHeard().candidates([], ()) == frozenset()
+
+    def test_any_heard_candidates_are_all(self):
+        heard = [hm(1, 1), hm(2, 2), hm(3, 3)]
+        assert FollowAnyHeard().candidates(heard, ()) == frozenset({1, 2, 3})
+
+    def test_any_heard_choice_is_seeded(self):
+        heard = [hm(1, 1), hm(2, 2), hm(3, 3)]
+        a = FollowAnyHeard().choose(heard, (), random.Random(7))
+        b = FollowAnyHeard().choose(heard, (), random.Random(7))
+        assert a == b and a in {1, 2, 3}
+
+    def test_avoid_recent_skips_history(self):
+        d = AvoidRecentlyVisited()
+        heard = [hm(1, 1, time=1.0), hm(2, 2, time=2.0)]
+        assert d.choose(heard, history=(1,), rng=random.Random(0)) == 2
+        assert d.candidates(heard, history=(1,)) == frozenset({2})
+
+    def test_avoid_recent_falls_back_when_all_visited(self):
+        d = AvoidRecentlyVisited()
+        heard = [hm(1, 1, time=1.0)]
+        assert d.choose(heard, history=(1,), rng=random.Random(0)) == 1
+
+
+class TestStateMachine:
+    def test_r1_decides_after_first_message(self):
+        state = AttackerState(paper_attacker(), start=10)
+        assert state.hear(hm(5, 3))  # ready immediately with R=1
+        assert state.decide(random.Random(0)) == 5
+        assert state.location == 5
+        assert state.path == [10, 5]
+
+    def test_r2_waits_for_two_messages(self):
+        spec = AttackerSpec(messages_per_move=2)
+        state = AttackerState(spec, start=10)
+        assert not state.hear(hm(5, 3, time=1.0))
+        assert state.hear(hm(6, 4, time=2.0))
+        assert state.decide(random.Random(0)) == 5  # earliest of the two
+
+    def test_messages_capped_at_r(self):
+        spec = AttackerSpec(messages_per_move=1)
+        state = AttackerState(spec, start=0)
+        state.hear(hm(1, 1, time=5.0))
+        state.hear(hm(2, 2, time=1.0))  # dropped: buffer already full
+        assert state.decide(random.Random(0)) == 1
+
+    def test_move_budget_enforced(self):
+        spec = AttackerSpec(moves_per_period=1)
+        state = AttackerState(spec, start=0)
+        state.hear(hm(1, 1))
+        assert state.decide(random.Random(0)) == 1
+        state.hear(hm(2, 2))
+        assert state.decide(random.Random(0)) is None  # M exhausted
+
+    def test_next_period_refreshes_budget(self):
+        spec = AttackerSpec(moves_per_period=1)
+        state = AttackerState(spec, start=0)
+        state.hear(hm(1, 1))
+        state.decide(random.Random(0))
+        state.next_period()
+        state.hear(hm(2, 2))
+        assert state.decide(random.Random(0)) == 2
+
+    def test_decide_without_messages_is_noop(self):
+        state = AttackerState(paper_attacker(), start=0)
+        assert state.decide(random.Random(0)) is None
+
+    def test_history_ring_buffer(self):
+        spec = AttackerSpec(history_size=2, moves_per_period=5)
+        state = AttackerState(spec, start=0)
+        for sender in (1, 2, 3):
+            state.hear(hm(sender, sender))
+            state.decide(random.Random(0))
+        # History holds the last two *previous* locations.
+        assert state.history == [1, 2]
+
+    def test_h0_keeps_no_history(self):
+        state = AttackerState(paper_attacker(), start=0)
+        state.hear(hm(1, 1))
+        state.decide(random.Random(0))
+        assert state.history == []
+
+    def test_staying_put_does_not_extend_path(self):
+        state = AttackerState(paper_attacker(), start=5)
+        state.hear(hm(5, 1))  # own location transmitting
+        assert state.decide(random.Random(0)) is None
+        assert state.path == [5]
+
+    def test_reset(self):
+        state = AttackerState(paper_attacker(), start=7)
+        state.hear(hm(1, 1))
+        state.decide(random.Random(0))
+        state.reset()
+        assert state.location == 7
+        assert state.path == [7]
+        assert state.messages == [] and state.moves == 0

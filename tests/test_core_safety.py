@@ -1,0 +1,74 @@
+"""Unit tests for capture time and safety period (Def. 4, Eq. 1)."""
+
+import pytest
+
+from repro.core import (
+    PAPER_SAFETY_FACTOR,
+    capture_time_periods,
+    capture_time_seconds,
+    safety_period,
+    simulation_time_bound,
+)
+from repro.errors import ConfigurationError
+from repro.topology import paper_grid
+
+
+class TestCaptureTime:
+    def test_seconds_formula(self, line5):
+        # Δss = 4, so C = period * 5.
+        assert capture_time_seconds(line5, 5.5) == pytest.approx(27.5)
+
+    def test_periods_formula(self, line5):
+        assert capture_time_periods(line5) == 5
+
+    def test_paper_grid_11(self):
+        grid = paper_grid(11)
+        assert capture_time_periods(grid) == 11
+        assert capture_time_seconds(grid, 5.5) == pytest.approx(60.5)
+
+    def test_rejects_bad_period(self, line5):
+        with pytest.raises(ConfigurationError, match="positive"):
+            capture_time_seconds(line5, 0.0)
+
+
+class TestSafetyPeriod:
+    def test_paper_factor(self, line5):
+        sp = safety_period(line5, 5.5)
+        assert sp.factor == PAPER_SAFETY_FACTOR
+        assert sp.seconds == pytest.approx(1.5 * 27.5)
+        assert sp.periods == 8  # ceil(1.5 * 5)
+
+    def test_periods_round_up(self):
+        grid = paper_grid(11)  # Δss + 1 = 11
+        sp = safety_period(grid, 5.5)
+        assert sp.periods == 17  # ceil(16.5)
+
+    def test_capture_time_recorded(self, line5):
+        sp = safety_period(line5, 2.0)
+        assert sp.capture_time_seconds == pytest.approx(10.0)
+
+    def test_factor_bounds_enforced(self, line5):
+        for bad in (0.5, 1.0, 2.0, 3.0):
+            with pytest.raises(ConfigurationError, match="Cs"):
+                safety_period(line5, 5.5, factor=bad)
+
+    def test_custom_factor(self, line5):
+        sp = safety_period(line5, 5.5, factor=1.2)
+        assert sp.periods == 6  # ceil(1.2 * 5)
+
+
+class TestSimulationBound:
+    def test_paper_formula(self):
+        # §VI-B: nodes * source period * 4.
+        assert simulation_time_bound(121, 5.5) == pytest.approx(121 * 5.5 * 4)
+
+    def test_custom_factor(self):
+        assert simulation_time_bound(10, 2.0, factor=2) == pytest.approx(40.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulation_time_bound(0, 5.5)
+        with pytest.raises(ConfigurationError):
+            simulation_time_bound(5, -1.0)
+        with pytest.raises(ConfigurationError):
+            simulation_time_bound(5, 5.5, factor=0)

@@ -1,0 +1,57 @@
+"""Tests for the error hierarchy and package metadata."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    TopologyError,
+    VerificationError,
+)
+from repro.version import PAPER_AUTHORS, PAPER_TITLE, PAPER_VENUE, __version__
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            TopologyError,
+            ScheduleError,
+            SimulationError,
+            ProtocolError,
+            VerificationError,
+            ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        assert issubclass(error, Exception)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise ScheduleError("x")
+
+    def test_library_raises_its_own_errors(self):
+        from repro.topology import LineTopology
+
+        with pytest.raises(ReproError):
+            LineTopology(0)
+
+
+class TestMetadata:
+    def test_version_exported(self):
+        assert repro.__version__ == __version__
+        assert __version__.count(".") == 2
+
+    def test_paper_identity(self):
+        assert "Source Location Privacy" in PAPER_TITLE
+        assert "Jhumka" in " ".join(PAPER_AUTHORS)
+        assert "ICDCS 2017" in PAPER_VENUE
+
+    def test_public_api_is_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ names missing: {name}"

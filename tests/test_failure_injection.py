@@ -1,0 +1,96 @@
+"""Failure-injection tests: node loss, heavy noise, partitioned hearing.
+
+The paper assumes a reliable network ("an ideal communication model was
+used"); these tests probe how gracefully the reproduction degrades
+outside that envelope, which is what a downstream user will hit first.
+"""
+
+import pytest
+
+from repro.app import run_operational_phase
+from repro.core import check_weak_das
+from repro.das import DasProtocolConfig, run_das_setup
+from repro.errors import ProtocolError
+from repro.simulator import BernoulliNoise, Process, Simulator
+from repro.topology import GridTopology, LineTopology
+
+
+class TestSetupUnderLoss:
+    def test_moderate_loss_still_converges(self):
+        grid = GridTopology(5)
+        result = run_das_setup(
+            grid,
+            config=DasProtocolConfig(setup_periods=60),
+            seed=1,
+            noise=BernoulliNoise(0.10),
+        )
+        assert result.schedule.covers(grid)
+        assert check_weak_das(grid, result.schedule).ok
+
+    def test_extreme_loss_fails_loudly(self):
+        grid = GridTopology(5)
+        with pytest.raises(ProtocolError, match="never obtained a slot"):
+            run_das_setup(
+                grid,
+                config=DasProtocolConfig(setup_periods=10),
+                seed=1,
+                noise=BernoulliNoise(0.98),
+            )
+
+    def test_loss_costs_messages(self):
+        """Loss delays convergence, which keeps nodes disseminating."""
+        grid = GridTopology(5)
+        clean = run_das_setup(
+            grid, config=DasProtocolConfig(setup_periods=60), seed=2
+        )
+        lossy = run_das_setup(
+            grid,
+            config=DasProtocolConfig(setup_periods=60),
+            seed=2,
+            noise=BernoulliNoise(0.15),
+        )
+        assert lossy.messages_sent >= clean.messages_sent * 0.5  # both sane
+        assert lossy.schedule.covers(grid)
+
+
+class TestNodeFailure:
+    def test_detached_node_blinds_its_link(self):
+        """Detaching a radio mid-run models a crashed node: its
+        neighbours stop hearing it, the engine keeps running."""
+        line = LineTopology(4)
+        sim = Simulator(line)
+        received = []
+
+        class Listener(Process):
+            def on_receive(self, sender, message, time):
+                received.append((self.node, sender))
+
+        for n in line.nodes:
+            sim.register_process(Listener(n))
+        sim.schedule_at(1.0, lambda: sim.radio.broadcast(1, "before"))
+        sim.schedule_at(2.0, lambda: sim.radio.detach(2))
+        sim.schedule_at(3.0, lambda: sim.radio.broadcast(1, "after"))
+        sim.run()
+        before = [(r, s) for r, s in received if s == 1]
+        # node 2 heard the first broadcast but not the second.
+        assert (2, 1) in before
+        assert before.count((2, 1)) == 1
+        assert before.count((0, 1)) == 2
+
+    def test_operational_phase_with_deaf_region(self):
+        """Total loss on the data plane: aggregation collapses to the
+        sink's own neighbourhood but the run completes and reports."""
+        grid = GridTopology(5)
+        from repro.das import centralized_das_schedule
+
+        schedule = centralized_das_schedule(grid, seed=0)
+        result = run_operational_phase(
+            grid,
+            schedule,
+            noise=BernoulliNoise(0.9),
+            seed=0,
+            max_periods=3,
+        )
+        assert result.periods_run == 3
+        assert result.aggregation_ratio < 0.5
+        assert not result.captured  # the attacker is mostly deaf too

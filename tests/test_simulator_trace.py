@@ -1,0 +1,59 @@
+"""Unit tests for the trace recorder."""
+
+from repro.simulator import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        t = TraceRecorder()
+        t.record(1.0, "a", x=1)
+        t.record(2.0, "b", y=2)
+        assert [r.kind for r in t] == ["a", "b"]
+        assert t.records[0].detail == {"x": 1}
+
+    def test_counts_always_maintained(self):
+        t = TraceRecorder(kinds=frozenset({"keep"}))
+        t.record(0.0, "keep")
+        t.record(0.0, "filtered")
+        t.record(0.0, "filtered")
+        assert t.count("filtered") == 2
+        assert t.count("keep") == 1
+        assert len(t) == 1  # only "keep" retained
+
+    def test_count_unknown_kind(self):
+        assert TraceRecorder().count("nothing") == 0
+
+    def test_counts_copy(self):
+        t = TraceRecorder()
+        t.record(0.0, "a")
+        counts = t.counts()
+        counts["a"] = 99
+        assert t.count("a") == 1
+
+    def test_of_kind(self):
+        t = TraceRecorder()
+        t.record(0.0, "a", n=1)
+        t.record(1.0, "b", n=2)
+        t.record(2.0, "a", n=3)
+        assert [r.detail["n"] for r in t.of_kind("a")] == [1, 3]
+
+    def test_where(self):
+        t = TraceRecorder()
+        for i in range(5):
+            t.record(float(i), "tick", n=i)
+        late = t.where(lambda r: r.time >= 3.0)
+        assert [r.detail["n"] for r in late] == [3, 4]
+
+    def test_last(self):
+        t = TraceRecorder()
+        t.record(0.0, "a", n=1)
+        t.record(1.0, "a", n=2)
+        assert t.last("a").detail["n"] == 2
+        assert t.last("missing") is None
+
+    def test_clear(self):
+        t = TraceRecorder()
+        t.record(0.0, "a")
+        t.clear()
+        assert len(t) == 0
+        assert t.count("a") == 0
