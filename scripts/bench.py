@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Performance benchmark suite: times representative workloads and
+writes ``BENCH_<date>.json`` so the perf trajectory is tracked PR over
+PR.
+
+Workloads
+---------
+``sweep11`` / ``sweep15``
+    Multi-seed capture-ratio sweeps (the unit of work behind every
+    Figure 5 bar): timed serially and with a ``workers``-process pool,
+    reporting the wall-clock speedup and verifying that the aggregated
+    ``CaptureStats`` are identical between the two modes.
+``das_setup``
+    One full message-level distributed DAS setup (Phase 1).
+``trace_heavy``
+    One operational run with every trace record retained versus the
+    counting-only default, isolating the event-loop + tracing cost.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py             # full suite
+    PYTHONPATH=src python scripts/bench.py --quick     # CI smoke mode
+    PYTHONPATH=src python scripts/bench.py --workers 4 --out BENCH.json
+
+The JSON deliberately records ``cpu_count``: process-pool speedup is
+bounded by physical cores, so a 1-core container reports ~1× for the
+parallel workloads while the same suite on a 4-core host reports ~3-4×.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.das import run_das_setup
+from repro.experiments import (
+    PAPER,
+    ExperimentConfig,
+    ExperimentRunner,
+    ParallelExperimentRunner,
+    workers_argument,
+)
+from repro.topology import GridTopology, paper_grid
+
+
+def _grid(size: int) -> GridTopology:
+    """Paper grid when the size is a paper size, plain grid otherwise
+    (quick mode uses a 7x7 the paper never evaluates)."""
+    try:
+        return paper_grid(size)
+    except Exception:
+        return GridTopology(size)
+
+
+def _time(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def bench_sweep(size: int, repeats: int, workers: int, noise: str = "casino") -> dict:
+    """Serial vs parallel capture-ratio sweep on one grid size."""
+    topology = _grid(size)
+    config = ExperimentConfig(algorithm="protectionless", repeats=repeats, noise=noise)
+
+    serial = ExperimentRunner(topology)
+    serial_s, serial_outcome = _time(serial.run, config)
+
+    with ParallelExperimentRunner(topology, workers=workers) as runner:
+        # Warm the pool outside the timed region: pool start-up is a
+        # one-off cost the sweep itself should not be charged for.
+        runner.run(ExperimentConfig(algorithm="protectionless", repeats=workers, noise=noise))
+        parallel_s, parallel_outcome = _time(runner.run, config)
+
+    stats_identical = asdict(serial_outcome.stats) == asdict(parallel_outcome.stats)
+    results_identical = serial_outcome.results == parallel_outcome.results
+    return {
+        "grid": f"{size}x{size}",
+        "repeats": repeats,
+        "workers": workers,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "runs_per_second_serial": round(repeats / serial_s, 2),
+        "runs_per_second_parallel": round(repeats / parallel_s, 2),
+        "capture_ratio": serial_outcome.stats.capture_ratio,
+        "stats_identical": stats_identical,
+        "results_identical": results_identical,
+    }
+
+
+def bench_das_setup(size: int, setup_periods: int) -> dict:
+    """One full message-level distributed DAS setup."""
+    topology = _grid(size)
+    config = PAPER.das_config(setup_periods=setup_periods)
+    elapsed, result = _time(run_das_setup, topology, config=config, seed=0)
+    return {
+        "grid": f"{size}x{size}",
+        "setup_periods": setup_periods,
+        "seconds": round(elapsed, 4),
+        "messages_sent": result.messages_sent,
+        "messages_per_second": round(result.messages_sent / elapsed, 1),
+    }
+
+
+def bench_trace_heavy(size: int) -> dict:
+    """Counting-only vs full-record tracing on one operational run."""
+    from repro.app import run_operational_phase
+    from repro.das import centralized_das_schedule
+
+    topology = _grid(size)
+    schedule = centralized_das_schedule(topology, num_slots=PAPER.num_slots, seed=0)
+
+    counting_s, counting = _time(
+        run_operational_phase, topology, schedule, seed=0, frame=PAPER.frame()
+    )
+    full_s, full = _time(
+        run_operational_phase,
+        topology,
+        schedule,
+        seed=0,
+        frame=PAPER.frame(),
+        trace_kinds=None,
+    )
+    return {
+        "grid": f"{size}x{size}",
+        "counting_only_seconds": round(counting_s, 4),
+        "full_trace_seconds": round(full_s, 4),
+        "counting_only_speedup": round(full_s / counting_s, 3) if counting_s else None,
+        "outcome_identical": counting == full,
+        "messages_sent": counting.messages_sent,
+    }
+
+
+def run_suite(workers: int, quick: bool) -> dict:
+    suite: dict = {
+        "meta": {
+            "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "workers": workers,
+            "quick": quick,
+        },
+        "workloads": {},
+    }
+    workloads = suite["workloads"]
+    if quick:
+        workloads["sweep11"] = bench_sweep(11, repeats=4, workers=workers)
+        workloads["das_setup"] = bench_das_setup(7, setup_periods=16)
+        workloads["trace_heavy"] = bench_trace_heavy(7)
+    else:
+        workloads["sweep11"] = bench_sweep(11, repeats=30, workers=workers)
+        workloads["sweep15"] = bench_sweep(15, repeats=20, workers=workers)
+        workloads["das_setup"] = bench_das_setup(11, setup_periods=30)
+        workloads["trace_heavy"] = bench_trace_heavy(11)
+    return suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=workers_argument,
+        default=4,
+        help="pool size for the parallel sweeps (default 4; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: tiny workloads, seconds not minutes (used by CI)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: BENCH_<date>.json in the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    suite = run_suite(workers=args.workers, quick=args.quick)
+
+    out = args.out
+    if out is None:
+        stamp = time.strftime("%Y%m%d")
+        out = Path(__file__).resolve().parent.parent / f"BENCH_{stamp}.json"
+    out.write_text(json.dumps(suite, indent=2, sort_keys=True) + "\n")
+
+    print(json.dumps(suite, indent=2, sort_keys=True))
+    print(f"\nwrote {out}", file=sys.stderr)
+
+    failures = [
+        name
+        for name, data in suite["workloads"].items()
+        if data.get("stats_identical") is False
+        or data.get("results_identical") is False
+        or data.get("outcome_identical") is False
+    ]
+    if failures:
+        print(f"IDENTITY CHECK FAILED for: {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

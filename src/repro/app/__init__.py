@@ -3,11 +3,16 @@ run harness that pits it against the eavesdropper."""
 
 from .convergecast import ConvergecastNodeProcess
 from .messages import AggregateMessage
-from .runtime import OperationalResult, run_operational_phase
+from .runtime import (
+    OPERATIONAL_TRACE_KINDS,
+    OperationalResult,
+    run_operational_phase,
+)
 
 __all__ = [
     "AggregateMessage",
     "ConvergecastNodeProcess",
+    "OPERATIONAL_TRACE_KINDS",
     "OperationalResult",
     "run_operational_phase",
 ]

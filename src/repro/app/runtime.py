@@ -90,6 +90,12 @@ class _AttackerTdmaAdapter:
         pass  # the attacker never transmits
 
 
+#: Default retained trace kinds: only what the capture metrics read.
+#: Everything else (every SEND/DELIVER on a 441-node grid) is counted
+#: but not materialised — the counting-only fast path of the recorder.
+OPERATIONAL_TRACE_KINDS = frozenset({ATTACKER_MOVE, CAPTURE})
+
+
 def run_operational_phase(
     topology: Topology,
     schedule: Schedule,
@@ -100,6 +106,7 @@ def run_operational_phase(
     safety_factor: float = 1.5,
     max_periods: Optional[int] = None,
     attacker_start: Optional[NodeId] = None,
+    trace_kinds: Optional[frozenset] = OPERATIONAL_TRACE_KINDS,
 ) -> OperationalResult:
     """Simulate the operational phase of one evaluation run.
 
@@ -127,6 +134,12 @@ def run_operational_phase(
         Override the period budget directly (used by ablations).
     attacker_start:
         ``s0``; defaults to the sink.
+    trace_kinds:
+        Which trace kinds the run retains in full (counts are always
+        kept).  Defaults to :data:`OPERATIONAL_TRACE_KINDS` — the
+        attacker events the metrics need; pass ``None`` to keep every
+        record (slower, for debugging).  The outcome is identical in
+        either mode.
     """
     spec = attacker if attacker is not None else paper_attacker()
     compressed = schedule.compressed()
@@ -153,7 +166,7 @@ def run_operational_phase(
         topology,
         noise=noise,
         seed=seed,
-        trace_kinds=frozenset({ATTACKER_MOVE, CAPTURE}),
+        trace_kinds=trace_kinds,
     )
     driver = TdmaDriver(sim, frame)
 

@@ -28,6 +28,7 @@ from .experiments import (
     format_table1,
     measure_setup_overhead,
     run_figure5,
+    workers_argument,
 )
 from .slp import SlpParameters, build_slp_schedule
 from .topology import paper_grid
@@ -47,6 +48,7 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         base_seed=args.seed,
         noise=args.noise,
+        workers=args.workers,
     )
     print(format_figure5(result))
     return 0
@@ -59,6 +61,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         seeds=range(args.seeds),
         search_distance=args.search_distance,
         setup_periods=args.setup_periods,
+        workers=args.workers,
     )
     print(format_overhead(measurement))
     return 0
@@ -135,12 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table1", help="print Table I").set_defaults(func=_cmd_table1)
 
+    workers_help = (
+        "worker processes for seed sweeps (default: serial; 0 = one per CPU)"
+    )
+
     fig = sub.add_parser("figure5", help="regenerate a Figure 5 panel")
     fig.add_argument("--search-distance", type=int, default=3, choices=(3, 5))
     fig.add_argument("--repeats", type=int, default=30)
     fig.add_argument("--seed", type=int, default=0)
     fig.add_argument("--sizes", type=int, nargs="+", default=list(PAPER_SIZES))
     fig.add_argument("--noise", choices=("casino", "ideal"), default="casino")
+    fig.add_argument("--workers", type=workers_argument, default=None, help=workers_help)
     fig.set_defaults(func=_cmd_figure5)
 
     over = sub.add_parser("overhead", help="measure SLP setup overhead")
@@ -148,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     over.add_argument("--seeds", type=int, default=3)
     over.add_argument("--search-distance", type=int, default=3)
     over.add_argument("--setup-periods", type=int, default=None)
+    over.add_argument("--workers", type=workers_argument, default=None, help=workers_help)
     over.set_defaults(func=_cmd_overhead)
 
     ver = sub.add_parser("verify", help="run VerifySchedule (Algorithm 1)")

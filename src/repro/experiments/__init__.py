@@ -21,6 +21,13 @@ from .overhead import (
     format_overhead,
     measure_setup_overhead,
 )
+from .parallel import (
+    ParallelExperimentRunner,
+    default_workers,
+    make_runner,
+    seed_chunks,
+    workers_argument,
+)
 from .runner import (
     ALGORITHMS,
     PROTECTIONLESS,
@@ -42,13 +49,18 @@ __all__ = [
     "PAPER_FIGURE5_REFERENCE",
     "PAPER_SIZES",
     "PROTECTIONLESS",
+    "ParallelExperimentRunner",
     "PaperParameters",
     "SLP",
+    "default_workers",
     "format_figure5",
     "format_overhead",
     "format_table1",
     "headline_reduction",
+    "make_runner",
     "measure_setup_overhead",
     "paper_topologies",
     "run_figure5",
+    "seed_chunks",
+    "workers_argument",
 ]

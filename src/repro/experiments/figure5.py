@@ -13,11 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
+
 from ..attacker import AttackerSpec
 from ..errors import ConfigurationError
 from ..metrics import CaptureStats
 from ..topology import paper_grid
 from .config import PAPER, PAPER_SIZES, PaperParameters
+from .parallel import ParallelExperimentRunner, resolve_workers
 from .runner import PROTECTIONLESS, SLP, ExperimentConfig, ExperimentRunner
 
 #: Paper reference values read off Figure 5 (approximate, for the
@@ -74,39 +78,55 @@ def run_figure5(
     noise: object = "casino",
     attacker: Optional[AttackerSpec] = None,
     parameters: PaperParameters = PAPER,
+    workers: Optional[int] = None,
 ) -> Figure5Result:
     """Regenerate one panel of Figure 5.
 
     Parameters mirror the paper's setup; reduce ``repeats`` or ``sizes``
-    for quick runs (the benchmarks do).
+    for quick runs (the benchmarks do).  ``workers`` fans the seed
+    sweeps out over that many processes (``None`` = serial); results are
+    identical either way.
     """
+    workers = resolve_workers(workers)
     cells = []
-    for size in sizes:
-        runner = ExperimentRunner(paper_grid(size))
-        base = runner.run(
-            ExperimentConfig(
-                algorithm=PROTECTIONLESS,
-                repeats=repeats,
-                base_seed=base_seed,
-                noise=noise,
-                attacker=attacker,
-                parameters=parameters,
+    with ExitStack() as stack:
+        # One pool serves every size and both algorithms: pool start-up
+        # is paid once per figure, not once per cell.
+        pool = None
+        if workers is not None and workers > 1:
+            pool = stack.enter_context(ProcessPoolExecutor(max_workers=workers))
+        for size in sizes:
+            topology = paper_grid(size)
+            if pool is None:
+                runner: ExperimentRunner = ExperimentRunner(topology)
+            else:
+                runner = ParallelExperimentRunner(
+                    topology, workers=workers, executor=pool
+                )
+            base = runner.run(
+                ExperimentConfig(
+                    algorithm=PROTECTIONLESS,
+                    repeats=repeats,
+                    base_seed=base_seed,
+                    noise=noise,
+                    attacker=attacker,
+                    parameters=parameters,
+                )
             )
-        )
-        slp = runner.run(
-            ExperimentConfig(
-                algorithm=SLP,
-                search_distance=search_distance,
-                repeats=repeats,
-                base_seed=base_seed,
-                noise=noise,
-                attacker=attacker,
-                parameters=parameters,
+            slp = runner.run(
+                ExperimentConfig(
+                    algorithm=SLP,
+                    search_distance=search_distance,
+                    repeats=repeats,
+                    base_seed=base_seed,
+                    noise=noise,
+                    attacker=attacker,
+                    parameters=parameters,
+                )
             )
-        )
-        cells.append(
-            Figure5Cell(size=size, protectionless=base.stats, slp=slp.stats)
-        )
+            cells.append(
+                Figure5Cell(size=size, protectionless=base.stats, slp=slp.stats)
+            )
     return Figure5Result(
         search_distance=search_distance,
         repeats=repeats,
@@ -141,12 +161,18 @@ def headline_reduction(
     sizes: Sequence[int] = PAPER_SIZES,
     base_seed: int = 0,
     noise: object = "casino",
+    workers: Optional[int] = None,
 ) -> Dict[int, float]:
     """The §VI-E headline: mean capture-ratio reduction per search
     distance (the paper reports ~50%)."""
     return {
         sd: run_figure5(
-            sd, sizes=sizes, repeats=repeats, base_seed=base_seed, noise=noise
+            sd,
+            sizes=sizes,
+            repeats=repeats,
+            base_seed=base_seed,
+            noise=noise,
+            workers=workers,
         ).mean_reduction
         for sd in PAPER.search_distances
     }

@@ -3,10 +3,15 @@
 Runs the two distributed setups — protectionless Phase 1 and the full
 3-phase SLP protocol — under identical seeds and counts every broadcast,
 yielding the :class:`~repro.metrics.MessageOverhead` the claim is about.
+
+Seeds are independent, so the sweep optionally fans out over a process
+pool (``workers``); per-seed measurements come back in seed order and
+are identical to a serial sweep.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -16,6 +21,7 @@ from ..simulator import NoiseModel
 from ..slp import SlpProtocolConfig, run_slp_setup
 from ..topology import Topology
 from .config import PAPER, PaperParameters
+from .parallel import resolve_workers
 
 
 @dataclass(frozen=True)
@@ -36,6 +42,36 @@ class OverheadMeasurement:
         return sum(m.overhead_percent for m in self.per_seed) / len(self.per_seed)
 
 
+def _measure_one_seed(
+    topology: Topology,
+    seed: int,
+    search_distance: int,
+    setup_periods: Optional[int],
+    refinement_periods: int,
+    noise: Optional[NoiseModel],
+    parameters: PaperParameters,
+) -> MessageOverhead:
+    """One seed's baseline-vs-SLP setup comparison.
+
+    Module-level so the parallel path can ship it to worker processes.
+    """
+    das_cfg = parameters.das_config(setup_periods=setup_periods)
+    baseline = run_das_setup(topology, config=das_cfg, seed=seed, noise=noise)
+    slp_cfg = SlpProtocolConfig(
+        das=das_cfg,
+        search_distance=search_distance,
+        change_length=parameters.change_length(topology, search_distance),
+        refinement_periods=refinement_periods,
+    )
+    slp = run_slp_setup(topology, config=slp_cfg, seed=seed, noise=noise)
+    return MessageOverhead(
+        baseline_messages=baseline.messages_sent,
+        slp_messages=slp.messages_sent,
+        search_messages=slp.search_messages,
+        change_messages=slp.change_messages,
+    )
+
+
 def measure_setup_overhead(
     topology: Topology,
     seeds: Sequence[int] = (0, 1, 2),
@@ -44,32 +80,44 @@ def measure_setup_overhead(
     refinement_periods: int = 20,
     noise: Optional[NoiseModel] = None,
     parameters: PaperParameters = PAPER,
+    workers: Optional[int] = None,
 ) -> OverheadMeasurement:
     """Measure SLP setup overhead over protectionless setup.
 
     ``setup_periods`` defaults to the paper's MSP (80); tests pass a
     smaller value to keep runtime down — overhead ratios are unaffected
-    because both protocols share the same Phase 1.
+    because both protocols share the same Phase 1.  ``workers`` spreads
+    the seeds over that many processes (``None`` or ``1`` = serial).
     """
-    measurements = []
-    for seed in seeds:
-        das_cfg = parameters.das_config(setup_periods=setup_periods)
-        baseline = run_das_setup(topology, config=das_cfg, seed=seed, noise=noise)
-        slp_cfg = SlpProtocolConfig(
-            das=das_cfg,
-            search_distance=search_distance,
-            change_length=parameters.change_length(topology, search_distance),
-            refinement_periods=refinement_periods,
-        )
-        slp = run_slp_setup(topology, config=slp_cfg, seed=seed, noise=noise)
-        measurements.append(
-            MessageOverhead(
-                baseline_messages=baseline.messages_sent,
-                slp_messages=slp.messages_sent,
-                search_messages=slp.search_messages,
-                change_messages=slp.change_messages,
+    seeds = list(seeds)
+    workers = resolve_workers(workers)
+    if workers is not None and workers > 1 and len(seeds) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(seeds))) as pool:
+            measurements = list(
+                pool.map(
+                    _measure_one_seed,
+                    (topology,) * len(seeds),
+                    seeds,
+                    (search_distance,) * len(seeds),
+                    (setup_periods,) * len(seeds),
+                    (refinement_periods,) * len(seeds),
+                    (noise,) * len(seeds),
+                    (parameters,) * len(seeds),
+                )
             )
-        )
+    else:
+        measurements = [
+            _measure_one_seed(
+                topology,
+                seed,
+                search_distance,
+                setup_periods,
+                refinement_periods,
+                noise,
+                parameters,
+            )
+            for seed in seeds
+        ]
     return OverheadMeasurement(
         topology_name=topology.name,
         per_seed=tuple(measurements),

@@ -1,0 +1,195 @@
+"""Parallel seed sweeps: the experiment engine's multi-core mode.
+
+The evaluation aggregates thousands of independent seeded runs (30
+repeats × sizes × algorithms × ablations), and the seed dimension is
+embarrassingly parallel: run *i* depends only on ``base_seed + i``.
+:class:`ParallelExperimentRunner` fans those runs out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` while preserving the
+serial engine's contract exactly — run *i* still uses ``base_seed + i``
+and results are reassembled in seed order, so the aggregated
+:class:`~repro.metrics.CaptureStats` are bit-identical to a serial
+sweep of the same configuration.
+
+Seeds are dispatched in contiguous chunks (several runs per task) to
+amortise pickling and scheduling overhead; chunk boundaries cannot
+affect results because every run re-seeds from scratch.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..app import OperationalResult
+from ..errors import ConfigurationError
+from ..metrics import capture_stats
+from ..topology import Topology
+from .runner import ExperimentConfig, ExperimentOutcome, ExperimentRunner
+
+
+def default_workers() -> int:
+    """The worker count used when none is given: one per CPU."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def workers_argument(value: str) -> int:
+    """argparse converter for ``--workers`` flags, shared by the CLI and
+    the scripts: a positive process count, or ``0`` for one per CPU."""
+    import argparse
+
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if workers < 0:
+        raise argparse.ArgumentTypeError("--workers must be >= 0")
+    return default_workers() if workers == 0 else workers
+
+
+def seed_chunks(seeds: Sequence[int], tasks: int) -> List[Tuple[int, ...]]:
+    """Split ``seeds`` into at most ``tasks`` contiguous, ordered chunks.
+
+    Contiguity means a flattened, submission-ordered gather reproduces
+    the original seed order with no re-sorting step.
+    """
+    if tasks < 1:
+        raise ConfigurationError("seed_chunks needs at least one task")
+    n = len(seeds)
+    tasks = min(tasks, n) if n else 0
+    chunks: List[Tuple[int, ...]] = []
+    start = 0
+    for i in range(tasks):
+        # Balanced partition: the first n % tasks chunks get one extra.
+        size = n // tasks + (1 if i < n % tasks else 0)
+        chunks.append(tuple(seeds[start : start + size]))
+        start += size
+    return chunks
+
+
+def _run_seed_chunk(
+    topology: Topology, config: ExperimentConfig, seeds: Tuple[int, ...]
+) -> List[OperationalResult]:
+    """Worker entry point: execute one contiguous chunk of seeds.
+
+    Module-level so it pickles by reference under every start method.
+    """
+    runner = ExperimentRunner(topology)
+    return [runner.run_once(config, seed) for seed in seeds]
+
+
+class ParallelExperimentRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` that sweeps seeds across processes.
+
+    Parameters
+    ----------
+    topology:
+        The network under test.
+    workers:
+        Process count; ``None`` or ``0`` means one per CPU (the CLI
+        convention).  ``workers=1`` degenerates to the serial engine
+        without spawning a pool.
+    chunks_per_worker:
+        Load-balancing granularity: each ``run`` splits its seeds into
+        up to ``workers × chunks_per_worker`` tasks.
+    executor:
+        An externally owned pool to submit to, shared between runners
+        (e.g. one pool across every grid size of a figure).  The runner
+        never shuts an external pool down; without one, a pool is
+        created lazily on first use and reused across ``run`` calls
+        (pool start-up would otherwise dominate short sweeps) — close
+        it with :meth:`close` or use the runner as a context manager.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        workers: Optional[int] = None,
+        chunks_per_worker: int = 4,
+        executor: Optional[ProcessPoolExecutor] = None,
+    ) -> None:
+        super().__init__(topology)
+        resolved = default_workers() if not workers else workers
+        if resolved < 1:
+            raise ConfigurationError("the parallel runner needs at least one worker")
+        if chunks_per_worker < 1:
+            raise ConfigurationError("chunks_per_worker must be at least one")
+        self._workers = resolved
+        self._chunks_per_worker = chunks_per_worker
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._external_executor = executor
+
+    @property
+    def workers(self) -> int:
+        """The process count seed sweeps fan out over."""
+        return self._workers
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._external_executor is not None:
+            return self._external_executor
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self._workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the owned worker pool down (an external ``executor`` is
+        left running).  Idempotent; the runner may be reused afterwards
+        (a fresh pool is spawned on demand)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ParallelExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def run(self, config: ExperimentConfig) -> ExperimentOutcome:
+        """Run all repeats across the pool and aggregate in seed order."""
+        seeds = [config.base_seed + i for i in range(config.repeats)]
+        if self._workers == 1 or len(seeds) == 1:
+            return super().run(config)
+        chunks = seed_chunks(seeds, self._workers * self._chunks_per_worker)
+        executor = self._ensure_executor()
+        results: List[OperationalResult] = []
+        # map() yields in submission order; chunks are contiguous, so the
+        # flattened results are exactly the serial seed order.
+        for chunk_results in executor.map(
+            _run_seed_chunk,
+            (self._topology,) * len(chunks),
+            (config,) * len(chunks),
+            chunks,
+        ):
+            results.extend(chunk_results)
+        return ExperimentOutcome(
+            config=config,
+            topology_name=self._topology.name,
+            results=tuple(results),
+            stats=capture_stats(results),
+        )
+
+
+def resolve_workers(workers: Optional[int]) -> Optional[int]:
+    """Normalise a ``workers`` argument: ``0`` means one per CPU (the
+    CLI convention), anything else passes through unchanged."""
+    return default_workers() if workers == 0 else workers
+
+
+def make_runner(
+    topology: Topology, workers: Optional[int] = None
+) -> ExperimentRunner:
+    """Build the right runner for a worker count.
+
+    ``None`` or ``1`` gives the serial :class:`ExperimentRunner`; ``0``
+    means one per CPU; any other count gives a
+    :class:`ParallelExperimentRunner`.  Both support the
+    context-manager protocol, so call sites can treat them uniformly::
+
+        with make_runner(topology, workers) as runner:
+            outcome = runner.run(config)
+    """
+    workers = resolve_workers(workers)
+    if workers is None or workers == 1:
+        return ExperimentRunner(topology)
+    return ParallelExperimentRunner(topology, workers=workers)

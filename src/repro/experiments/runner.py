@@ -105,7 +105,12 @@ class ExperimentOutcome:
 
 
 class ExperimentRunner:
-    """Sweeps seeds for one topology and experiment configuration."""
+    """Sweeps seeds for one topology and experiment configuration.
+
+    Runs execute serially in-process; the drop-in
+    :class:`~repro.experiments.ParallelExperimentRunner` fans the same
+    sweep out over worker processes with identical results.
+    """
 
     def __init__(self, topology: Topology) -> None:
         self._topology = topology
@@ -114,6 +119,16 @@ class ExperimentRunner:
     def topology(self) -> Topology:
         """The network under test."""
         return self._topology
+
+    def close(self) -> None:
+        """Release sweep resources.  A no-op for the serial engine; kept
+        so serial and parallel runners share a lifecycle protocol."""
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Schedule construction

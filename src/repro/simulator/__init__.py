@@ -18,6 +18,7 @@ from .trace import (
     ATTACKER_MOVE,
     CAPTURE,
     COLLIDE,
+    COUNTS_ONLY,
     DELIVER,
     DROP,
     PERIOD_START,
@@ -35,6 +36,7 @@ __all__ = [
     "BernoulliNoise",
     "CAPTURE",
     "COLLIDE",
+    "COUNTS_ONLY",
     "CasinoLabNoise",
     "Channel",
     "DELIVER",

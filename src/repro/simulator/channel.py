@@ -16,7 +16,7 @@ from ..errors import SimulationError
 from ..topology import NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delivery:
     """A message sitting in a channel: who sent it, what, and when."""
 
@@ -27,6 +27,8 @@ class Delivery:
 
 class Channel:
     """A FIFO queue of incoming :class:`Delivery` records."""
+
+    __slots__ = ("_owner", "_queue")
 
     def __init__(self, owner: NodeId) -> None:
         self._owner = owner

@@ -3,6 +3,15 @@
 The queue is the heart of the discrete event simulator: events pop in
 ``(time, seq)`` order, cancelled events are dropped lazily on pop (the
 standard heapq idiom — cancellation is O(1), cleanup amortised).
+
+Two hot-path refinements over the textbook version:
+
+* heap entries are ``(time, seq, event)`` tuples, so ordering is
+  resolved by C-level tuple comparison instead of a Python ``__lt__``
+  (the comparator is the single most-called function in a sweep);
+* a live-event counter is maintained on push/pop/cancel, making
+  ``len(queue)`` — and therefore ``Simulator.pending_events`` — O(1)
+  instead of an O(n) scan.
 """
 
 from __future__ import annotations
@@ -17,18 +26,20 @@ from .event import Event, EventHandle
 class EventQueue:
     """A future event list ordered by ``(time, sequence)``."""
 
+    __slots__ = ("_heap", "_seq", "_live")
+
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     @property
     def empty(self) -> bool:
         """Whether no live (non-cancelled) events remain."""
-        self._drop_cancelled_head()
-        return not self._heap
+        return self._live == 0
 
     def push(
         self,
@@ -40,26 +51,39 @@ class EventQueue:
         if time < 0:
             raise SimulationError(f"cannot schedule an event at negative time {time}")
         event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        event.in_queue = True
+        heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or ``None`` when empty."""
         self._drop_cancelled_head()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def pop(self) -> Event:
         """Remove and return the next live event."""
         self._drop_cancelled_head()
         if not self._heap:
             raise SimulationError("pop from an empty event queue")
-        return heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)[2]
+        event.in_queue = False
+        self._live -= 1
+        return event
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for _, _, event in self._heap:
+            event.in_queue = False
         self._heap.clear()
+        self._live = 0
+
+    def _note_cancelled(self) -> None:
+        """Called by :class:`EventHandle` when a queued event is cancelled."""
+        self._live -= 1
 
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)[2].in_queue = False

@@ -27,7 +27,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Process:
-    """A node-resident protocol process with timers and a FIFO channel."""
+    """A node-resident protocol process with timers and a FIFO channel.
+
+    ``__slots__`` keeps per-node overhead small on large grids;
+    subclasses may declare their own slots or fall back to a ``__dict__``
+    for protocol state.
+    """
+
+    __slots__ = ("_node", "_sim", "_channel", "_timers")
 
     def __init__(self, node: NodeId) -> None:
         self._node = node

@@ -13,12 +13,24 @@ seconds, both are destroyed.  TDMA operation is collision-free by
 construction, so the window mainly matters for the dissemination phase
 and is disabled by default (TinyOS disseminations are CSMA-spaced, which
 our per-node jitter reproduces).
+
+Hot-path notes.  Broadcast delivery dominates sweep runtime, so the
+medium (a) caches the per-sender fan-out list (attached neighbours and
+their callbacks) and the per-sender audible set instead of rebuilding
+them each transmission, (b) schedules *one* event per broadcast that
+fans out to every surviving receiver when it fires, rather than one
+event per directed delivery, and (c) bypasses trace-record construction
+entirely for kinds the recorder does not retain.  None of this changes
+the event ordering or RNG draw sequence of a run: deliveries of one
+broadcast share a timestamp and fired back-to-back before under the
+``(time, seq)`` order anyway, and noise draws happen at transmission
+time in neighbour order exactly as before.
 """
 
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List, Optional, Protocol, Tuple
 
 from ..topology import NodeId, Topology
 from . import trace as trace_kinds
@@ -27,6 +39,9 @@ from .trace import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .simulator import Simulator
+
+#: One directed delivery of a broadcast: the receiver and its callback.
+_Fanout = Tuple[Tuple[NodeId, Callable[[NodeId, Any, float], None]], ...]
 
 
 class Eavesdropper(Protocol):
@@ -80,6 +95,17 @@ class RadioMedium:
         self._eavesdroppers: List[Eavesdropper] = []
         #: receiver → time of last arrival, for the collision window.
         self._last_arrival: Dict[NodeId, float] = {}
+        #: sender → fan-out list; invalidated on attach/detach.
+        self._fanout_cache: Dict[NodeId, _Fanout] = {}
+        #: sender → {sender} ∪ neighbours; topology is immutable, so
+        #: entries never need invalidating.
+        self._audible_cache: Dict[NodeId, FrozenSet[NodeId]] = {}
+        trace = simulator.trace
+        self._keep_send = trace.wants(trace_kinds.SEND)
+        self._keep_deliver = trace.wants(trace_kinds.DELIVER)
+        self._keep_drop = trace.wants(trace_kinds.DROP)
+        self._keep_collide = trace.wants(trace_kinds.COLLIDE)
+        self._keep_hear = trace.wants(trace_kinds.ATTACKER_HEAR)
 
     @property
     def topology(self) -> Topology:
@@ -99,10 +125,12 @@ class RadioMedium:
     ) -> None:
         """Register the delivery callback for ``node``'s channel."""
         self._receivers[node] = on_deliver
+        self._fanout_cache.clear()
 
     def detach(self, node: NodeId) -> None:
         """Remove ``node`` from the medium (e.g. node failure injection)."""
         self._receivers.pop(node, None)
+        self._fanout_cache.clear()
 
     def attach_eavesdropper(self, eavesdropper: Eavesdropper) -> None:
         """Let ``eavesdropper`` overhear transmissions near its location."""
@@ -115,65 +143,119 @@ class RadioMedium:
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
+    def _fanout_of(self, sender: NodeId) -> _Fanout:
+        fanout = self._fanout_cache.get(sender)
+        if fanout is None:
+            receivers = self._receivers
+            fanout = tuple(
+                (neighbour, receivers[neighbour])
+                for neighbour in self._topology.neighbours(sender)
+                if neighbour in receivers
+            )
+            self._fanout_cache[sender] = fanout
+        return fanout
+
+    def _audible_of(self, sender: NodeId) -> FrozenSet[NodeId]:
+        audible = self._audible_cache.get(sender)
+        if audible is None:
+            audible = frozenset(self._topology.neighbours(sender)) | {sender}
+            self._audible_cache[sender] = audible
+        return audible
+
     def broadcast(self, sender: NodeId, message: Any) -> None:
         """Transmit ``message`` from ``sender`` to all nodes in range.
 
-        Every attached neighbour receives an independent delivery event
-        (after noise); every eavesdropper whose location is the sender or
-        one of its neighbours overhears the frame at transmission time.
+        Every attached neighbour receives an independent delivery (after
+        noise); every eavesdropper whose location is the sender or one of
+        its neighbours overhears the frame at transmission time.
         """
-        now = self._sim.now
-        rng = self._sim.rng
-        self._sim.trace.record(now, trace_kinds.SEND, sender=sender, message=message)
+        sim = self._sim
+        now = sim.now
+        rng = sim.rng
+        trace = sim.trace
+        noise = self._noise
+        if self._keep_send:
+            trace.record(now, trace_kinds.SEND, sender=sender, message=message)
+        else:
+            trace.bump(trace_kinds.SEND)
 
-        for receiver in self._topology.neighbours(sender):
-            callback = self._receivers.get(receiver)
-            if callback is None:
-                continue
-            if not self._noise.delivers(sender, receiver, rng):
-                self._sim.trace.record(
-                    now, trace_kinds.DROP, sender=sender, receiver=receiver
-                )
-                continue
-            self._sim.schedule_after(
+        surviving: List[Tuple[NodeId, Callable[[NodeId, Any, float], None]]] = []
+        for receiver, callback in self._fanout_of(sender):
+            if noise.delivers(sender, receiver, rng):
+                surviving.append((receiver, callback))
+            elif self._keep_drop:
+                trace.record(now, trace_kinds.DROP, sender=sender, receiver=receiver)
+            else:
+                trace.bump(trace_kinds.DROP)
+        if surviving:
+            sim.schedule_after(
                 self._propagation_delay,
-                self._deliver,
-                (sender, receiver, message, callback),
+                self._deliver_batch,
+                (sender, message, tuple(surviving)),
             )
 
-        audible = set(self._topology.neighbours(sender))
-        audible.add(sender)
-        for eavesdropper in list(self._eavesdroppers):
-            if eavesdropper.location in audible:
-                if self._noise.delivers(sender, -1, rng):
-                    self._sim.trace.record(
-                        now,
-                        trace_kinds.ATTACKER_HEAR,
-                        sender=sender,
-                        location=eavesdropper.location,
-                    )
-                    eavesdropper.overhear(sender, message, now)
+        if self._eavesdroppers:
+            audible = self._audible_of(sender)
+            for eavesdropper in list(self._eavesdroppers):
+                if eavesdropper.location in audible:
+                    if noise.delivers(sender, -1, rng):
+                        if self._keep_hear:
+                            trace.record(
+                                now,
+                                trace_kinds.ATTACKER_HEAR,
+                                sender=sender,
+                                location=eavesdropper.location,
+                            )
+                        else:
+                            trace.bump(trace_kinds.ATTACKER_HEAR)
+                        eavesdropper.overhear(sender, message, now)
 
-    def _deliver(
+    def _deliver_batch(
         self,
         sender: NodeId,
-        receiver: NodeId,
         message: Any,
-        callback: Callable[[NodeId, Any, float], None],
+        deliveries: _Fanout,
     ) -> None:
-        now = self._sim.now
-        if self._collision_window > 0.0:
-            last = self._last_arrival.get(receiver)
-            self._last_arrival[receiver] = now
-            if last is not None and now - last < self._collision_window:
-                self._sim.trace.record(
-                    now, trace_kinds.COLLIDE, sender=sender, receiver=receiver
+        """Fan one broadcast out to all its surviving receivers.
+
+        Receivers fire in neighbour order — identical to the order the
+        per-receiver events of one broadcast popped in before batching,
+        since they shared a timestamp and consecutive sequence numbers.
+        """
+        sim = self._sim
+        now = sim.now
+        trace = sim.trace
+        window = self._collision_window
+        keep_deliver = self._keep_deliver
+        if window > 0.0:
+            last_arrival = self._last_arrival
+            for receiver, callback in deliveries:
+                last = last_arrival.get(receiver)
+                last_arrival[receiver] = now
+                if last is not None and now - last < window:
+                    if self._keep_collide:
+                        trace.record(
+                            now, trace_kinds.COLLIDE, sender=sender, receiver=receiver
+                        )
+                    else:
+                        trace.bump(trace_kinds.COLLIDE)
+                    continue
+                if keep_deliver:
+                    trace.record(
+                        now, trace_kinds.DELIVER, sender=sender, receiver=receiver
+                    )
+                else:
+                    trace.bump(trace_kinds.DELIVER)
+                callback(sender, message, now)
+            return
+        for receiver, callback in deliveries:
+            if keep_deliver:
+                trace.record(
+                    now, trace_kinds.DELIVER, sender=sender, receiver=receiver
                 )
-                return
-        self._sim.trace.record(
-            now, trace_kinds.DELIVER, sender=sender, receiver=receiver
-        )
-        callback(sender, message, now)
+            else:
+                trace.bump(trace_kinds.DELIVER)
+            callback(sender, message, now)
 
     def reset(self) -> None:
         """Clear per-run medium state (noise chains, collision clocks)."""

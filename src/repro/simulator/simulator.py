@@ -41,6 +41,19 @@ class Simulator:
         Forwarded to :class:`RadioMedium`.
     """
 
+    __slots__ = (
+        "_topology",
+        "_queue",
+        "_now",
+        "_rng",
+        "_trace",
+        "_radio",
+        "_processes",
+        "_started",
+        "_events_executed",
+        "_stop_requested",
+    )
+
     def __init__(
         self,
         topology: Topology,
@@ -198,15 +211,18 @@ class Simulator:
         self._start_processes()
         self._stop_requested = False
         executed = 0
+        queue = self._queue
+        peek_time = queue.peek_time
+        pop = queue.pop
         while not self._stop_requested:
-            next_time = self._queue.peek_time()
+            next_time = peek_time()
             if next_time is None:
                 break
             if until is not None and next_time > until:
                 break
             if max_events is not None and executed >= max_events:
                 break
-            event = self._queue.pop()
+            event = pop()
             self._now = event.time
             event.fire()
             self._events_executed += 1

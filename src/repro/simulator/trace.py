@@ -23,8 +23,13 @@ SLOT_CHANGED = "slot-changed"
 PERIOD_START = "period-start"
 PHASE = "phase"
 
+#: The counting-only filter: no record of any kind is retained, only
+#: per-kind totals.  The cheapest trace mode — experiment sweeps that
+#: need nothing beyond counts should use this.
+COUNTS_ONLY: frozenset = frozenset()
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace entry: a timestamped event kind with free-form detail."""
 
@@ -41,16 +46,42 @@ class TraceRecorder:
     aggregated, so a ``kinds`` filter can restrict what is kept.  Counts
     are always maintained for every kind, even filtered ones, because the
     overhead metric only needs totals.
+
+    Passing ``kinds=frozenset()`` (:data:`COUNTS_ONLY`) keeps counts and
+    nothing else.  Hot emitters should consult :meth:`wants` once and
+    call :meth:`bump` for unwanted kinds — that skips building both the
+    detail dict and the :class:`TraceRecord`.
     """
+
+    __slots__ = ("_kinds", "_records", "_counts")
 
     def __init__(self, kinds: Optional[frozenset] = None) -> None:
         self._kinds = kinds
         self._records: List[TraceRecord] = []
         self._counts: Dict[str, int] = {}
 
+    @property
+    def counting_only(self) -> bool:
+        """``True`` when no kind is ever retained (``kinds=frozenset()``)."""
+        return self._kinds is not None and not self._kinds
+
+    def wants(self, kind: str) -> bool:
+        """Whether records of ``kind`` are retained (counts always are)."""
+        return self._kinds is None or kind in self._kinds
+
+    def bump(self, kind: str) -> None:
+        """Increment ``kind``'s count without constructing a record.
+
+        Equivalent to :meth:`record` for a kind :meth:`wants` is false
+        for, minus the per-call dict/record allocation.
+        """
+        counts = self._counts
+        counts[kind] = counts.get(kind, 0) + 1
+
     def record(self, time: float, kind: str, **detail: Any) -> None:
         """Add an entry (subject to the kind filter) and bump its count."""
-        self._counts[kind] = self._counts.get(kind, 0) + 1
+        counts = self._counts
+        counts[kind] = counts.get(kind, 0) + 1
         if self._kinds is None or kind in self._kinds:
             self._records.append(TraceRecord(time=time, kind=kind, detail=detail))
 

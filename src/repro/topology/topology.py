@@ -79,6 +79,25 @@ class Topology:
         self._sink_distance: Optional[Dict[NodeId, int]] = None
         self._neighbour_cache: Dict[NodeId, Tuple[NodeId, ...]] = {}
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the derived caches.
+
+        The caches are rebuilt deterministically on demand, and excluding
+        them matters for more than size: pickling a ``frozenset`` does
+        not preserve its internal layout, so its *iteration order* can
+        change across a round-trip.  Algorithms that iterate 2-hop sets
+        (e.g. the schedule repair fixpoint's tie-breaks) would then
+        diverge between an in-process topology and one shipped to a
+        worker process.  A worker that rebuilds the caches from scratch
+        constructs them exactly as the parent did, keeping parallel seed
+        sweeps bit-identical to serial ones.
+        """
+        state = self.__dict__.copy()
+        state["_two_hop"] = {}
+        state["_sink_distance"] = None
+        state["_neighbour_cache"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # Basic structure
     # ------------------------------------------------------------------

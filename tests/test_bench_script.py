@@ -1,0 +1,94 @@
+"""Tier-1-safe smoke test for the perf benchmark harness.
+
+Runs ``scripts/bench.py --quick`` (seconds, not minutes) so the bench
+suite itself cannot silently rot: it must import, execute every
+workload, pass its own serial-vs-parallel identity checks, and write
+well-formed JSON.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchQuickMode:
+    @pytest.fixture(scope="class")
+    def bench_output(self, tmp_path_factory):
+        spec = importlib.util.spec_from_file_location("bench_run", SCRIPT)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        out = tmp_path_factory.mktemp("bench") / "BENCH_test.json"
+        code = module.main(["--quick", "--workers", "2", "--out", str(out)])
+        return code, out
+
+    def test_exit_code_zero(self, bench_output):
+        code, _ = bench_output
+        assert code == 0
+
+    def test_json_written_with_meta(self, bench_output):
+        _, out = bench_output
+        data = json.loads(out.read_text())
+        assert data["meta"]["quick"] is True
+        assert data["meta"]["workers"] == 2
+        assert data["meta"]["cpu_count"] >= 1
+        assert data["meta"]["python"] == ".".join(map(str, sys.version_info[:3]))
+
+    def test_all_quick_workloads_present(self, bench_output):
+        _, out = bench_output
+        workloads = json.loads(out.read_text())["workloads"]
+        assert set(workloads) == {"sweep11", "das_setup", "trace_heavy"}
+
+    def test_sweep_identity_checks_pass(self, bench_output):
+        _, out = bench_output
+        sweep = json.loads(out.read_text())["workloads"]["sweep11"]
+        assert sweep["stats_identical"] is True
+        assert sweep["results_identical"] is True
+        assert sweep["serial_seconds"] > 0
+        assert sweep["parallel_seconds"] > 0
+        assert sweep["speedup"] > 0
+
+    def test_trace_heavy_outcome_identical(self, bench_output):
+        _, out = bench_output
+        trace = json.loads(out.read_text())["workloads"]["trace_heavy"]
+        assert trace["outcome_identical"] is True
+        assert trace["counting_only_seconds"] > 0
+
+
+class TestBenchHelpers:
+    def test_workers_zero_means_cpu_count(self, bench, tmp_path, monkeypatch):
+        seen = {}
+
+        def fake_suite(workers, quick):
+            seen["workers"] = workers
+            return {"meta": {"workers": workers, "quick": quick}, "workloads": {}}
+
+        monkeypatch.setattr(bench, "run_suite", fake_suite)
+        out = tmp_path / "b.json"
+        assert bench.main(["--quick", "--workers", "0", "--out", str(out)]) == 0
+        assert seen["workers"] >= 1
+
+    def test_identity_failure_fails_the_run(self, bench, tmp_path, monkeypatch):
+        def bad_suite(workers, quick):
+            return {
+                "meta": {},
+                "workloads": {"sweep11": {"stats_identical": False}},
+            }
+
+        monkeypatch.setattr(bench, "run_suite", bad_suite)
+        out = tmp_path / "b.json"
+        assert bench.main(["--quick", "--out", str(out)]) == 1

@@ -53,6 +53,37 @@ class TestEventQueue:
         h.cancel()
         assert len(q) == 1
 
+    def test_len_is_tracked_through_pop_and_clear(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None) for i in range(4)]
+        q.pop()
+        assert len(q) == 3
+        handles[1].cancel()
+        assert len(q) == 2
+        q.clear()
+        assert len(q) == 0
+        assert q.empty
+
+    def test_cancel_after_fire_keeps_count_consistent(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.pop()           # fires the event behind h
+        h.cancel()        # late cancel of an already-popped event
+        h.cancel()        # ... twice
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+
+    def test_cancelled_events_do_not_resurface(self):
+        q = EventQueue()
+        for i in range(3):
+            q.push(1.0, lambda: None)
+        head = q.push(0.5, lambda: None)
+        head.cancel()
+        assert q.peek_time() == 1.0
+        assert len(q) == 3
+
     def test_negative_time_rejected(self):
         with pytest.raises(SimulationError, match="negative"):
             EventQueue().push(-1.0, lambda: None)
