@@ -15,6 +15,10 @@ Workloads
 ``trace_heavy``
     One operational run with every trace record retained versus the
     counting-only default, isolating the event-loop + tracing cost.
+``scenario``
+    A registered scenario (multi-source ``two-sources``) swept through
+    the :class:`~repro.scenarios.ScenarioRunner`, serial versus
+    parallel, verifying the two JSON reports are byte-identical.
 
 Usage::
 
@@ -46,6 +50,7 @@ from repro.experiments import (
     ParallelExperimentRunner,
     workers_argument,
 )
+from repro.scenarios import ScenarioRunner
 from repro.topology import GridTopology, paper_grid
 
 
@@ -92,6 +97,33 @@ def bench_sweep(size: int, repeats: int, workers: int, noise: str = "casino") ->
         "capture_ratio": serial_outcome.stats.capture_ratio,
         "stats_identical": stats_identical,
         "results_identical": results_identical,
+    }
+
+
+def bench_scenario(name: str, repeats: int, workers: int) -> dict:
+    """Serial vs parallel scenario sweep via the ScenarioRunner.
+
+    The identity check is the strongest one the suite has: not just
+    equal stats but byte-identical JSON reports (per-run rows,
+    per-source breakdowns, first-capture aggregation and all).
+    """
+    serial = ScenarioRunner(workers=1)
+    serial_s, serial_outcome = _time(serial.run, name, repeats)
+
+    parallel = ScenarioRunner(workers=workers)
+    parallel_s, parallel_outcome = _time(parallel.run, name, repeats)
+
+    return {
+        "scenario": name,
+        "repeats": repeats,
+        "workers": workers,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "runs_per_second_serial": round(repeats / serial_s, 2),
+        "runs_per_second_parallel": round(repeats / parallel_s, 2),
+        "capture_ratio": serial_outcome.stats.capture_ratio,
+        "results_identical": serial_outcome.to_json() == parallel_outcome.to_json(),
     }
 
 
@@ -155,11 +187,20 @@ def run_suite(workers: int, quick: bool) -> dict:
         workloads["sweep11"] = bench_sweep(11, repeats=4, workers=workers)
         workloads["das_setup"] = bench_das_setup(7, setup_periods=16)
         workloads["trace_heavy"] = bench_trace_heavy(7)
+        workloads["scenario"] = bench_scenario(
+            "two-sources", repeats=4, workers=workers
+        )
     else:
         workloads["sweep11"] = bench_sweep(11, repeats=30, workers=workers)
         workloads["sweep15"] = bench_sweep(15, repeats=20, workers=workers)
         workloads["das_setup"] = bench_das_setup(11, setup_periods=30)
         workloads["trace_heavy"] = bench_trace_heavy(11)
+        workloads["scenario"] = bench_scenario(
+            "two-sources", repeats=20, workers=workers
+        )
+        workloads["scenario_churn"] = bench_scenario(
+            "churn-10pct", repeats=20, workers=workers
+        )
     return suite
 
 

@@ -86,12 +86,31 @@ from .experiments import (
     measure_setup_overhead,
     run_figure5,
 )
+from .app import (
+    DutyCycle,
+    NodeDeath,
+    NodeSleep,
+    SourcePlan,
+)
 from .mac import TdmaDriver, TdmaFrame
 from .metrics import (
     CaptureStats,
+    FirstCaptureStats,
     MessageOverhead,
+    PerSourceCapture,
     aggregation_stats,
     capture_stats,
+    first_capture_stats,
+    per_source_capture_stats,
+)
+from .scenarios import (
+    ScenarioOutcome,
+    ScenarioRunner,
+    ScenarioSpec,
+    TopologySpec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
 )
 from .simulator import (
     BernoulliNoise,
@@ -138,9 +157,11 @@ __all__ = [
     "DasProtocolConfig",
     "DasSetupResult",
     "DasViolation",
+    "DutyCycle",
     "EavesdropperAgent",
     "ExperimentConfig",
     "ExperimentRunner",
+    "FirstCaptureStats",
     "FollowAnyHeard",
     "FollowFirstHeard",
     "GradientField",
@@ -149,19 +170,26 @@ __all__ = [
     "IdealNoise",
     "LineTopology",
     "MessageOverhead",
+    "NodeDeath",
+    "NodeSleep",
     "NoiseModel",
     "OperationalResult",
     "PAPER",
     "PAPER_SIZES",
+    "PerSourceCapture",
     "Process",
     "ProtocolError",
     "ReproError",
     "RingTopology",
     "SafetyPeriod",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ScenarioSpec",
     "Schedule",
     "ScheduleError",
     "SimulationError",
     "Simulator",
+    "SourcePlan",
     "SlpBuildResult",
     "SlpParameters",
     "SlpProtocolConfig",
@@ -170,6 +198,7 @@ __all__ = [
     "TdmaFrame",
     "Topology",
     "TopologyError",
+    "TopologySpec",
     "VerificationError",
     "VerificationResult",
     "__version__",
@@ -182,9 +211,11 @@ __all__ = [
     "check_strong_das",
     "check_weak_das",
     "descent_path",
+    "first_capture_stats",
     "format_figure5",
     "format_table1",
     "generate_attacker_traces",
+    "get_scenario",
     "gradient_field",
     "gradient_successor",
     "headline_reduction",
@@ -196,14 +227,17 @@ __all__ = [
     "minimum_capture_period",
     "paper_attacker",
     "paper_grid",
+    "per_source_capture_stats",
     "predicts_capture",
     "random_geometric_topology",
     "refinement_footprint",
+    "register_scenario",
     "run_das_setup",
     "run_figure5",
     "run_operational_phase",
     "run_slp_setup",
     "safety_period",
+    "scenario_names",
     "simulation_time_bound",
     "verify_schedule",
 ]

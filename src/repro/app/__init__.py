@@ -1,7 +1,18 @@
-"""Application layer: the convergecast data plane and the operational
-run harness that pits it against the eavesdropper."""
+"""Application layer: the convergecast data plane, the operational run
+harness that pits it against the eavesdropper, and the workload
+dynamics (multi/mobile sources, perturbations) scenarios drive."""
 
 from .convergecast import ConvergecastNodeProcess
+from .dynamics import (
+    DutyCycle,
+    NodeDeath,
+    NodeSleep,
+    Perturbation,
+    PerturbationStep,
+    SourcePlan,
+    SourceTracker,
+    lower_perturbations,
+)
 from .messages import AggregateMessage
 from .runtime import (
     OPERATIONAL_TRACE_KINDS,
@@ -12,7 +23,15 @@ from .runtime import (
 __all__ = [
     "AggregateMessage",
     "ConvergecastNodeProcess",
+    "DutyCycle",
+    "NodeDeath",
+    "NodeSleep",
     "OPERATIONAL_TRACE_KINDS",
     "OperationalResult",
+    "Perturbation",
+    "PerturbationStep",
+    "SourcePlan",
+    "SourceTracker",
+    "lower_perturbations",
     "run_operational_phase",
 ]

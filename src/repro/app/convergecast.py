@@ -38,6 +38,7 @@ class ConvergecastNodeProcess(Process):
         self._is_sink = is_sink
         self._is_source = is_source
         self._children: Set[NodeId] = set(children) if children else set()
+        self._asleep = False
         self._current_period = -1
         #: origins aggregated so far in the current period.
         self._pending: Set[NodeId] = set()
@@ -63,6 +64,27 @@ class ConvergecastNodeProcess(Process):
         """The TDMA slot this node transmits in (``None`` for the sink)."""
         return self._slot
 
+    @property
+    def asleep(self) -> bool:
+        """Whether the node is currently muted by a perturbation."""
+        return self._asleep
+
+    # ------------------------------------------------------------------
+    # Perturbation hooks (driven by the scenario harness)
+    # ------------------------------------------------------------------
+    def sleep(self) -> None:
+        """Mute the node: no transmissions until :meth:`wake`.
+
+        The harness pairs this with detaching the node's radio, so a
+        sleeping (or dead) node neither sends nor hears — it vanishes
+        from the network until woken.
+        """
+        self._asleep = True
+
+    def wake(self) -> None:
+        """Resume transmitting from the next slot onward."""
+        self._asleep = False
+
     # ------------------------------------------------------------------
     # TDMA client hooks (driven by the TdmaDriver)
     # ------------------------------------------------------------------
@@ -75,7 +97,7 @@ class ConvergecastNodeProcess(Process):
 
     def on_slot(self, period: int, slot: int, time: float) -> None:
         """Broadcast this period's aggregate (every node, every period)."""
-        if self._is_sink:
+        if self._is_sink or self._asleep:
             return
         message = AggregateMessage(
             sender=self.node,

@@ -6,16 +6,22 @@ its TDMA slot each period, and a ``(R, H, M, s0, D)`` eavesdropper
 (starting at the sink) tries to reach the source before the safety
 period expires.  The outcome feeds the capture-ratio metric of
 Figure 5.
+
+Beyond the paper's single static source, the harness also drives the
+scenario subsystem's workload dynamics (:mod:`repro.app.dynamics`):
+several simultaneously broadcasting sources, a mobile source rotating
+through a pool of nodes, and scheduled perturbations (node death,
+one-shot sleeps, recurring duty cycles) applied at period boundaries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..attacker import AttackerSpec, EavesdropperAgent, paper_attacker
 from ..core import Schedule, safety_period
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, invalid_field
 from ..mac import TdmaDriver, TdmaFrame
 from ..simulator import (
     ATTACKER_HEAR,
@@ -28,6 +34,14 @@ from ..simulator import (
 )
 from ..topology import NodeId, Topology
 from .convergecast import ConvergecastNodeProcess
+from .dynamics import (
+    DIE,
+    WAKE,
+    Perturbation,
+    SourcePlan,
+    SourceTracker,
+    lower_perturbations,
+)
 
 
 @dataclass(frozen=True)
@@ -37,7 +51,7 @@ class OperationalResult:
     Attributes
     ----------
     captured:
-        Whether the attacker occupied the source within the run.
+        Whether the attacker occupied a source within the run.
     capture_period:
         Period index of the capture, if any.
     capture_time:
@@ -54,6 +68,14 @@ class OperationalResult:
     aggregation_ratio:
         Mean fraction of non-sink readings the sink collected per period
         (1.0 = perfect convergecast; degraded only by noise).
+    captured_source:
+        The source node the attacker captured (``None`` if it survived;
+        equals the single source in paper-style runs, and identifies
+        *which* source fell in multi-source scenarios).
+    source_pool:
+        Every node that held (or could hold) the asset during the run —
+        one node for the paper's workload, several for multi-source and
+        mobile-source scenarios.
     """
 
     captured: bool
@@ -64,10 +86,12 @@ class OperationalResult:
     attacker_path: Tuple[NodeId, ...]
     messages_sent: int
     aggregation_ratio: float
+    captured_source: Optional[NodeId] = None
+    source_pool: Tuple[NodeId, ...] = ()
 
     @property
     def survived(self) -> bool:
-        """Whether the source stayed hidden for the whole safety period."""
+        """Whether every source stayed hidden for the whole safety period."""
         return not self.captured
 
 
@@ -90,10 +114,88 @@ class _AttackerTdmaAdapter:
         pass  # the attacker never transmits
 
 
+class _SourcePlanClient:
+    """TDMA client advancing the :class:`SourceTracker` each period.
+
+    Registered *after* the attacker adapter (larger node key) so the
+    attacker's ``NextP`` has already run when the tracker advances; a
+    rotation that lands the asset on the attacker's current position is
+    then registered as a capture under the new period index.
+    """
+
+    def __init__(
+        self, node: NodeId, tracker: SourceTracker, agent: EavesdropperAgent
+    ) -> None:
+        self._node = node
+        self._tracker = tracker
+        self._agent = agent
+
+    @property
+    def node(self) -> NodeId:
+        return self._node
+
+    def on_period_start(self, period: int, time: float) -> None:
+        active = self._tracker.advance(period)
+        if not self._agent.captured and self._agent.location in active:
+            self._agent.register_capture(self._agent.location, time)
+
+    def on_slot(self, period: int, slot: int, time: float) -> None:  # pragma: no cover
+        pass  # the plan client never transmits
+
+
 #: Default retained trace kinds: only what the capture metrics read.
 #: Everything else (every SEND/DELIVER on a 441-node grid) is counted
 #: but not materialised — the counting-only fast path of the recorder.
 OPERATIONAL_TRACE_KINDS = frozenset({ATTACKER_MOVE, CAPTURE})
+
+
+def _resolve_source_plan(
+    topology: Topology, source_plan: Optional[SourcePlan]
+) -> SourcePlan:
+    """Default to the paper's workload: the topology's designated source."""
+    if source_plan is None:
+        return SourcePlan.single(topology.source)
+    for node in source_plan.nodes:
+        if node not in topology:
+            raise invalid_field(
+                "SourcePlan",
+                "nodes",
+                node,
+                f"is not part of topology {topology.name!r}",
+            )
+        if node == topology.sink:
+            raise invalid_field(
+                "SourcePlan",
+                "nodes",
+                node,
+                "the sink cannot hold the asset (it is the attacker's anchor)",
+            )
+    return source_plan
+
+
+def _validate_perturbations(
+    topology: Topology,
+    perturbations: Sequence[Perturbation],
+    plan: SourcePlan,
+) -> None:
+    protected = set(plan.nodes) | {topology.sink}
+    for perturbation in perturbations:
+        for node in perturbation.nodes:
+            if node not in topology:
+                raise invalid_field(
+                    type(perturbation).__name__,
+                    "nodes",
+                    node,
+                    f"is not part of topology {topology.name!r}",
+                )
+            if node in protected:
+                role = "sink" if node == topology.sink else "source"
+                raise invalid_field(
+                    type(perturbation).__name__,
+                    "nodes",
+                    node,
+                    f"cannot perturb the {role} (it anchors the privacy game)",
+                )
 
 
 def run_operational_phase(
@@ -107,6 +209,8 @@ def run_operational_phase(
     max_periods: Optional[int] = None,
     attacker_start: Optional[NodeId] = None,
     trace_kinds: Optional[frozenset] = OPERATIONAL_TRACE_KINDS,
+    source_plan: Optional[SourcePlan] = None,
+    perturbations: Sequence[Perturbation] = (),
 ) -> OperationalResult:
     """Simulate the operational phase of one evaluation run.
 
@@ -130,6 +234,8 @@ def run_operational_phase(
         needs more distinct slots than the frame offers.
     safety_factor:
         ``Cs`` of Eq. 1; the run executes ``⌈Cs × (Δss + 1)⌉`` periods.
+        With several sources the *smallest* source–sink distance is
+        used — the most conservative budget.
     max_periods:
         Override the period budget directly (used by ablations).
     attacker_start:
@@ -140,8 +246,20 @@ def run_operational_phase(
         attacker events the metrics need; pass ``None`` to keep every
         record (slower, for debugging).  The outcome is identical in
         either mode.
+    source_plan:
+        Which nodes hold the asset (:class:`~repro.app.dynamics.SourcePlan`);
+        ``None`` means the paper's single static source, the topology's
+        designated one.  The attacker captures by occupying any
+        currently active source.
+    perturbations:
+        Scheduled mid-run changes (node death, sleeps, duty cycles),
+        applied at period boundaries before any event of the period.
+        Perturbing the sink or a source-pool node is rejected.
     """
     spec = attacker if attacker is not None else paper_attacker()
+    plan = _resolve_source_plan(topology, source_plan)
+    _validate_perturbations(topology, perturbations, plan)
+    source_pool = plan.nodes
     compressed = schedule.compressed()
     distinct = max(compressed.slots().values())
     if frame is None:
@@ -156,8 +274,11 @@ def run_operational_phase(
     if max_periods is not None:
         periods_budget = max_periods
     else:
+        # Eq. 1 against the closest source: the budget a perfect
+        # attacker needs for the easiest target in the pool.
+        distance = min(topology.sink_distance(node) for node in source_pool)
         periods_budget = safety_period(
-            topology, frame.period_length, factor=safety_factor
+            topology, frame.period_length, factor=safety_factor, distance=distance
         ).periods
     if periods_budget < 1:
         raise ConfigurationError("the run must cover at least one period")
@@ -170,6 +291,7 @@ def run_operational_phase(
     )
     driver = TdmaDriver(sim, frame)
 
+    pool_set = frozenset(source_pool)
     processes: Dict[NodeId, ConvergecastNodeProcess] = {}
     for node in topology.nodes:
         is_sink = node == topology.sink
@@ -178,26 +300,54 @@ def run_operational_phase(
             slot=None if is_sink else compressed.slot_of(node),
             parent=compressed.parent_of(node),
             is_sink=is_sink,
-            is_source=(topology.has_source and node == topology.source),
+            is_source=node in pool_set,
             children=set(compressed.children_of(node)),
         )
         processes[node] = proc
         sim.register_process(proc)
         driver.register(proc, proc.slot)
 
+    tracker = SourceTracker(plan)
     start = attacker_start if attacker_start is not None else topology.sink
     agent = EavesdropperAgent(
         sim,
         spec,
         start=start,
-        source=topology.source,
+        source=plan.primary,
         slot_lookup=compressed.slot_of,
         on_capture=lambda _t: sim.request_stop(),
+        capture_test=tracker.is_source,
     )
     sim.radio.attach_eavesdropper(agent)
-    # The adapter needs its own client key; -1 never collides with a
-    # sensor node (node identifiers are non-negative).
-    driver.register(_AttackerTdmaAdapter(-1, agent), None)
+    # The adapter and the source-plan client need their own client
+    # keys; negative identifiers never collide with a sensor node.
+    # The adapter sorts first so the attacker's NextP precedes the
+    # tracker advance (see _SourcePlanClient).
+    driver.register(_AttackerTdmaAdapter(-2, agent), None)
+    driver.register(_SourcePlanClient(-1, tracker, agent), None)
+
+    # Perturbation steps fire at the period boundary *before* the
+    # TDMA driver's own period event: they were queued first, and the
+    # event queue breaks timestamp ties by insertion order.  Death is
+    # permanent: a wake step from an overlapping sleep schedule must
+    # not resurrect a crashed node.
+    dead: set = set()
+
+    def _apply_step(action: str, nodes: Tuple[NodeId, ...]) -> None:
+        for node in nodes:
+            proc = processes[node]
+            if action == WAKE:
+                if node not in dead:
+                    sim.radio.attach(node, proc.deliver)
+                    proc.wake()
+                continue
+            if action == DIE:
+                dead.add(node)
+            sim.radio.detach(node)
+            proc.sleep()
+
+    for period, action, nodes in lower_perturbations(perturbations, periods_budget):
+        sim.schedule_at(frame.period_start(period), _apply_step, (action, nodes))
 
     driver.start(stop_after=periods_budget)
     sim.run(until=periods_budget * frame.period_length + 1e-9)
@@ -227,4 +377,6 @@ def run_operational_phase(
         attacker_path=agent.path,
         messages_sent=sim.trace.count(SEND),
         aggregation_ratio=aggregation,
+        captured_source=agent.captured_source,
+        source_pool=source_pool,
     )

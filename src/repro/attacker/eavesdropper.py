@@ -39,6 +39,11 @@ class EavesdropperAgent:
         ``1HopNsWithRLowestSlots``).
     on_capture:
         Optional callback invoked once at capture time.
+    capture_test:
+        Optional predicate replacing the ``location == source`` capture
+        check.  Scenario workloads use it for multiple simultaneous
+        sources and mobile (rotating) sources, where the capture target
+        is a set that may change between periods.
     """
 
     def __init__(
@@ -49,14 +54,17 @@ class EavesdropperAgent:
         source: NodeId,
         slot_lookup: Callable[[NodeId], int],
         on_capture: Optional[Callable[[float], None]] = None,
+        capture_test: Optional[Callable[[NodeId], bool]] = None,
     ) -> None:
         self._sim = simulator
         self._state = AttackerState(spec, start)
         self._source = source
         self._slot_lookup = slot_lookup
         self._on_capture = on_capture
+        self._capture_test = capture_test
         self._captured_at: Optional[float] = None
         self._capture_period: Optional[int] = None
+        self._captured_source: Optional[NodeId] = None
         self._current_period = 0
 
     # ------------------------------------------------------------------
@@ -86,6 +94,11 @@ class EavesdropperAgent:
     def capture_period(self) -> Optional[int]:
         """TDMA period index of capture, if any."""
         return self._capture_period
+
+    @property
+    def captured_source(self) -> Optional[NodeId]:
+        """The source node the attacker captured, if any."""
+        return self._captured_source
 
     @property
     def path(self) -> tuple:
@@ -126,11 +139,29 @@ class EavesdropperAgent:
             location=moved_to,
             period=self._current_period,
         )
-        if moved_to == self._source:
-            self._captured_at = time
-            self._capture_period = self._current_period
-            self._sim.trace.record(
-                time, CAPTURE, location=moved_to, period=self._current_period
-            )
-            if self._on_capture is not None:
-                self._on_capture(time)
+        if self._is_capture(moved_to):
+            self.register_capture(moved_to, time)
+
+    def _is_capture(self, location: NodeId) -> bool:
+        if self._capture_test is not None:
+            return self._capture_test(location)
+        return location == self._source
+
+    def register_capture(self, location: NodeId, time: float) -> None:
+        """Record that the attacker holds a source at ``location``.
+
+        Called internally when a move lands on a source, and by the
+        scenario harness when a *mobile* source rotates onto the
+        attacker's current position (the asset walking into the
+        attacker is a capture too).  Idempotent after the first call.
+        """
+        if self.captured:
+            return
+        self._captured_at = time
+        self._capture_period = self._current_period
+        self._captured_source = location
+        self._sim.trace.record(
+            time, CAPTURE, location=location, period=self._current_period
+        )
+        if self._on_capture is not None:
+            self._on_capture(time)

@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import invalid_field
 from ..topology import NodeId
 from .decision import DecisionFunction, FollowFirstHeard, HeardMessage
 
@@ -41,11 +41,26 @@ class AttackerSpec:
 
     def __post_init__(self) -> None:
         if self.messages_per_move < 1:
-            raise ConfigurationError("R (messages per move) must be at least 1")
+            raise invalid_field(
+                "AttackerSpec",
+                "messages_per_move",
+                self.messages_per_move,
+                "R (messages per move) must be at least 1",
+            )
         if self.history_size < 0:
-            raise ConfigurationError("H (history size) cannot be negative")
+            raise invalid_field(
+                "AttackerSpec",
+                "history_size",
+                self.history_size,
+                "H (history size) cannot be negative",
+            )
         if self.moves_per_period < 1:
-            raise ConfigurationError("M (moves per period) must be at least 1")
+            raise invalid_field(
+                "AttackerSpec",
+                "moves_per_period",
+                self.moves_per_period,
+                "M (moves per period) must be at least 1",
+            )
 
     @property
     def r(self) -> int:

@@ -7,15 +7,20 @@ Usage (installed as ``repro-slp-das`` or via ``python -m repro.cli``)::
     repro-slp-das overhead --size 11 --seeds 3
     repro-slp-das verify --size 11 --seed 0 --search-distance 3
     repro-slp-das show --size 11 --seed 0
+    repro-slp-das scenario list
+    repro-slp-das scenario run two-sources --seeds 20 --workers 2
+    repro-slp-das scenario compare paper-baseline mobile-source
 
 Every subcommand prints the same rows/series the paper reports, so the
-EXPERIMENTS.md numbers can be re-derived from a shell.
+EXPERIMENTS.md numbers can be re-derived from a shell; the ``scenario``
+family sweeps the declarative workloads of :mod:`repro.scenarios`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .core import check_strong_das, check_weak_das, safety_period
@@ -29,6 +34,12 @@ from .experiments import (
     measure_setup_overhead,
     run_figure5,
     workers_argument,
+)
+from .scenarios import (
+    ScenarioRunner,
+    format_comparison,
+    iter_scenarios,
+    scenario_names,
 )
 from .slp import SlpParameters, build_slp_schedule
 from .topology import paper_grid
@@ -125,6 +136,41 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_list(_: argparse.Namespace) -> int:
+    header = f"{'name':<22} {'summary'}"
+    print(header)
+    print("-" * 72)
+    for spec in iter_scenarios():
+        print(f"{spec.name:<22} {spec.summary()}")
+        if spec.description:
+            print(f"{'':<22} {spec.description}")
+    print(f"\n{len(scenario_names())} scenarios registered")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    runner = ScenarioRunner(workers=args.workers)
+    outcome = runner.run(args.name, seeds=args.seeds, base_seed=args.seed)
+    if args.jsonl:
+        payload = outcome.to_jsonl()
+    else:
+        payload = outcome.to_json() + "\n"
+    if args.out is not None:
+        args.out.write_text(payload)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
+def _cmd_scenario_compare(args: argparse.Namespace) -> int:
+    names = args.names if args.names else scenario_names()
+    runner = ScenarioRunner(workers=args.workers)
+    outcomes = runner.compare(names, seeds=args.seeds, base_seed=args.seed)
+    print(format_comparison(outcomes))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -164,6 +210,50 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--seed", type=int, default=0)
     ver.add_argument("--search-distance", type=int, default=3)
     ver.set_defaults(func=_cmd_verify)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative workloads (multi-source, mobile, churn)"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scn_list = scenario_sub.add_parser("list", help="list registered scenarios")
+    scn_list.set_defaults(func=_cmd_scenario_list)
+
+    scn_run = scenario_sub.add_parser(
+        "run", help="sweep one scenario and print a JSON report"
+    )
+    scn_run.add_argument("name", help="registered scenario name (see 'list')")
+    scn_run.add_argument(
+        "--seeds", type=int, default=None, help="override the scenario's repeats"
+    )
+    scn_run.add_argument("--seed", type=int, default=None, help="first seed")
+    scn_run.add_argument(
+        "--workers", type=workers_argument, default=None, help=workers_help
+    )
+    scn_run.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="emit one JSON line per run instead of one report object",
+    )
+    scn_run.add_argument(
+        "--out", type=Path, default=None, help="write the report to a file"
+    )
+    scn_run.set_defaults(func=_cmd_scenario_run)
+
+    scn_cmp = scenario_sub.add_parser(
+        "compare", help="sweep several scenarios and tabulate capture ratios"
+    )
+    scn_cmp.add_argument(
+        "names", nargs="*", help="scenario names (default: every registered one)"
+    )
+    scn_cmp.add_argument(
+        "--seeds", type=int, default=None, help="override each scenario's repeats"
+    )
+    scn_cmp.add_argument("--seed", type=int, default=None, help="first seed")
+    scn_cmp.add_argument(
+        "--workers", type=workers_argument, default=None, help=workers_help
+    )
+    scn_cmp.set_defaults(func=_cmd_scenario_compare)
 
     show = sub.add_parser("show", help="visualise a refined schedule")
     show.add_argument("--size", type=int, default=11, choices=PAPER_SIZES)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ConfigurationError
 from ..topology import Topology
@@ -54,35 +55,56 @@ class SafetyPeriod:
     capture_time_seconds: float
 
 
-def capture_time_seconds(topology: Topology, period_length: float) -> float:
-    """Return ``C = period_length × (Δss + 1)`` (§VI-B)."""
+def _resolve_distance(topology: Topology, distance: Optional[int]) -> int:
+    if distance is None:
+        return topology.source_sink_distance()
+    if distance < 1:
+        raise ConfigurationError(
+            f"safety_period.distance={distance!r}: "
+            "the source–sink distance must be at least one hop"
+        )
+    return distance
+
+
+def capture_time_seconds(
+    topology: Topology, period_length: float, distance: Optional[int] = None
+) -> float:
+    """Return ``C = period_length × (Δss + 1)`` (§VI-B).
+
+    ``distance`` overrides ``Δss`` (multi-source scenarios budget
+    against the closest source in the pool).
+    """
     if period_length <= 0:
         raise ConfigurationError("period length must be positive")
-    return period_length * (topology.source_sink_distance() + 1)
+    return period_length * (_resolve_distance(topology, distance) + 1)
 
 
-def capture_time_periods(topology: Topology) -> int:
+def capture_time_periods(topology: Topology, distance: Optional[int] = None) -> int:
     """Return the capture time expressed in whole TDMA periods: ``Δss + 1``."""
-    return topology.source_sink_distance() + 1
+    return _resolve_distance(topology, distance) + 1
 
 
 def safety_period(
     topology: Topology,
     period_length: float,
     factor: float = PAPER_SAFETY_FACTOR,
+    distance: Optional[int] = None,
 ) -> SafetyPeriod:
     """Compute the safety period per Eq. 1 with the paper's ``Cs = 1.5``.
 
     ``factor`` must satisfy ``1 < Cs < 2`` as the paper stipulates;
     values outside that interval are rejected so experiments cannot
-    silently weaken the privacy target.
+    silently weaken the privacy target.  ``distance`` overrides the
+    topology's designated source–sink distance — scenario workloads
+    with several sources pass the smallest pool distance, yielding the
+    most conservative budget.
     """
     if not 1.0 < factor < 2.0:
         raise ConfigurationError(
             f"safety factor Cs must satisfy 1 < Cs < 2 (Eq. 1), got {factor}"
         )
-    c_seconds = capture_time_seconds(topology, period_length)
-    c_periods = capture_time_periods(topology)
+    c_seconds = capture_time_seconds(topology, period_length, distance=distance)
+    c_periods = capture_time_periods(topology, distance=distance)
     return SafetyPeriod(
         seconds=factor * c_seconds,
         periods=math.ceil(factor * c_periods),

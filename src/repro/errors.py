@@ -61,3 +61,19 @@ class ConfigurationError(ReproError):
     Examples: a search distance larger than the network diameter, or a
     negative number of repeats.
     """
+
+
+def invalid_field(
+    owner: str, field: str, value: object, problem: str
+) -> ConfigurationError:
+    """Build a :class:`ConfigurationError` in the library's uniform shape.
+
+    Every validation failure of a configuration object reads the same
+    way — ``Owner.field=value: what is wrong`` — so users can always see
+    *which* parameter of *which* object they got wrong, not just a prose
+    description of the constraint::
+
+        raise invalid_field("ExperimentConfig", "repeats", 0,
+                            "an experiment needs at least one repeat")
+    """
+    return ConfigurationError(f"{owner}.{field}={value!r}: {problem}")

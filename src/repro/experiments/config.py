@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..das import DasProtocolConfig
-from ..errors import ConfigurationError
+from ..errors import invalid_field
 from ..mac import TdmaFrame
 from ..topology import Topology, paper_grid
 
@@ -60,9 +60,12 @@ class PaperParameters:
             self.dissemination_period + self.num_slots * self.slot_period
         )
         if abs(expected - self.source_period) > 1e-9:
-            raise ConfigurationError(
+            raise invalid_field(
+                "PaperParameters",
+                "source_period",
+                self.source_period,
                 "Table I is self-consistent: Psrc must equal "
-                f"Pdiss + slots × Pslot = {expected}, got {self.source_period}"
+                f"Pdiss + slots × Pslot = {expected}",
             )
 
     def frame(self) -> TdmaFrame:

@@ -22,7 +22,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 from ..app import OperationalResult
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, invalid_field
 from ..metrics import capture_stats
 from ..topology import Topology
 from .runner import ExperimentConfig, ExperimentOutcome, ExperimentRunner
@@ -111,9 +111,15 @@ class ParallelExperimentRunner(ExperimentRunner):
         super().__init__(topology)
         resolved = default_workers() if not workers else workers
         if resolved < 1:
-            raise ConfigurationError("the parallel runner needs at least one worker")
+            raise invalid_field(
+                "ParallelExperimentRunner", "workers", workers,
+                "the parallel runner needs at least one worker",
+            )
         if chunks_per_worker < 1:
-            raise ConfigurationError("chunks_per_worker must be at least one")
+            raise invalid_field(
+                "ParallelExperimentRunner", "chunks_per_worker", chunks_per_worker,
+                "chunks_per_worker must be at least one",
+            )
         self._workers = resolved
         self._chunks_per_worker = chunks_per_worker
         self._executor: Optional[ProcessPoolExecutor] = None

@@ -16,13 +16,18 @@ full message-level setup instead, which the examples demonstrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from ..app import OperationalResult, run_operational_phase
+from ..app import (
+    OperationalResult,
+    Perturbation,
+    SourcePlan,
+    run_operational_phase,
+)
 from ..attacker import AttackerSpec
 from ..core import Schedule
 from ..das import centralized_das_schedule, run_das_setup
-from ..errors import ConfigurationError
+from ..errors import invalid_field
 from ..metrics import CaptureStats, capture_stats
 from ..simulator import CasinoLabNoise, NoiseModel
 from ..slp import (
@@ -64,6 +69,15 @@ class ExperimentConfig:
         the centralised pipeline.
     parameters:
         The Table I constants in force.
+    source_plan:
+        Which nodes hold the asset (``None`` = the topology's single
+        designated source, the paper's workload).  Multi-source and
+        mobile-source scenarios set this.
+    perturbations:
+        Scheduled mid-run changes (node death, sleeps, duty cycles)
+        applied in every run of the sweep.
+    max_periods:
+        Override the safety-period budget per run (``None`` = Eq. 1).
     """
 
     algorithm: str = PROTECTIONLESS
@@ -74,14 +88,33 @@ class ExperimentConfig:
     attacker: Optional[AttackerSpec] = None
     use_distributed: bool = False
     parameters: PaperParameters = field(default_factory=lambda: PAPER)
+    source_plan: Optional[SourcePlan] = None
+    perturbations: Tuple[Perturbation, ...] = ()
+    max_periods: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
-            raise ConfigurationError(
-                f"unknown algorithm {self.algorithm!r}; pick one of {ALGORITHMS}"
+            raise invalid_field(
+                "ExperimentConfig",
+                "algorithm",
+                self.algorithm,
+                f"unknown algorithm; pick one of {ALGORITHMS}",
             )
         if self.repeats < 1:
-            raise ConfigurationError("an experiment needs at least one repeat")
+            raise invalid_field(
+                "ExperimentConfig",
+                "repeats",
+                self.repeats,
+                "an experiment needs at least one repeat",
+            )
+        object.__setattr__(self, "perturbations", tuple(self.perturbations))
+        if self.max_periods is not None and self.max_periods < 1:
+            raise invalid_field(
+                "ExperimentConfig",
+                "max_periods",
+                self.max_periods,
+                "a run must cover at least one period",
+            )
 
     def make_noise(self) -> Optional[NoiseModel]:
         """Instantiate a fresh noise model for one run."""
@@ -91,7 +124,9 @@ class ExperimentConfig:
             return CasinoLabNoise()
         if self.noise == "ideal":
             return None
-        raise ConfigurationError(f"unknown noise spec {self.noise!r}")
+        raise invalid_field(
+            "ExperimentConfig", "noise", self.noise, "unknown noise spec"
+        )
 
 
 @dataclass(frozen=True)
@@ -183,6 +218,9 @@ class ExperimentRunner:
             seed=seed,
             frame=config.parameters.frame(),
             safety_factor=config.parameters.safety_factor,
+            max_periods=config.max_periods,
+            source_plan=config.source_plan,
+            perturbations=config.perturbations,
         )
 
     def run(self, config: ExperimentConfig) -> ExperimentOutcome:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, invalid_field
 
 
 @dataclass(frozen=True)
@@ -41,11 +41,20 @@ class TdmaFrame:
 
     def __post_init__(self) -> None:
         if self.num_slots < 1:
-            raise ConfigurationError("a TDMA frame needs at least one slot")
+            raise invalid_field(
+                "TdmaFrame", "num_slots", self.num_slots,
+                "a TDMA frame needs at least one slot",
+            )
         if self.slot_duration <= 0:
-            raise ConfigurationError("slot duration must be positive")
+            raise invalid_field(
+                "TdmaFrame", "slot_duration", self.slot_duration,
+                "slot duration must be positive",
+            )
         if self.dissemination_duration < 0:
-            raise ConfigurationError("dissemination duration cannot be negative")
+            raise invalid_field(
+                "TdmaFrame", "dissemination_duration", self.dissemination_duration,
+                "dissemination duration cannot be negative",
+            )
 
     # ------------------------------------------------------------------
     # Durations

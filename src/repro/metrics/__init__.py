@@ -1,7 +1,14 @@
 """Evaluation metrics: capture ratio (Figure 5), message overhead
 (§VII's "negligible overhead" claim) and convergecast quality guards."""
 
-from .capture import CaptureStats, capture_stats
+from .capture import (
+    CaptureStats,
+    FirstCaptureStats,
+    PerSourceCapture,
+    capture_stats,
+    first_capture_stats,
+    per_source_capture_stats,
+)
 from .collector import Summary, summarise
 from .energy import (
     EnergyModel,
@@ -17,12 +24,16 @@ __all__ = [
     "CaptureStats",
     "EnergyModel",
     "EnergyReport",
+    "FirstCaptureStats",
     "MessageOverhead",
+    "PerSourceCapture",
     "Summary",
     "aggregation_stats",
     "capture_stats",
     "estimate_lifetime_periods",
+    "first_capture_stats",
     "measure_energy",
+    "per_source_capture_stats",
     "schedule_latency_periods",
     "summarise",
 ]

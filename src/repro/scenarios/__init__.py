@@ -1,0 +1,47 @@
+"""Declarative scenario workloads swept through the experiment engine.
+
+The paper's evaluation covers one workload shape: a single static
+source on square grids against the ``(1, 0, 1, s0, first-heard)``
+attacker.  This package turns every axis the paper parameterises into
+a declarative, named workload:
+
+* :class:`ScenarioSpec` — a frozen description of topology, source
+  placement (static, multiple simultaneous, or mobile/rotating),
+  attacker, noise regime and mid-run perturbations;
+* the registry (:func:`register_scenario`, :func:`get_scenario`,
+  :func:`scenario_names`) with a built-in gallery from
+  ``paper-baseline`` to ``churn-10pct``;
+* :class:`ScenarioRunner` — lowers specs onto the serial/parallel
+  experiment engine with bit-identical results either way, reporting
+  per-source capture ratios and first-capture aggregation.
+
+CLI: ``repro-slp-das scenario list|run|compare``.
+"""
+
+from .registry import (
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from .runner import ScenarioOutcome, ScenarioRunner, format_comparison
+from .spec import (
+    NOISE_REGIMES,
+    TOPOLOGY_FAMILIES,
+    ScenarioSpec,
+    TopologySpec,
+)
+
+__all__ = [
+    "NOISE_REGIMES",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TOPOLOGY_FAMILIES",
+    "TopologySpec",
+    "format_comparison",
+    "get_scenario",
+    "iter_scenarios",
+    "register_scenario",
+    "scenario_names",
+]

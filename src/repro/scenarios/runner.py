@@ -1,0 +1,205 @@
+"""Sweeping scenarios through the experiment engine.
+
+:class:`ScenarioRunner` lowers a :class:`~repro.scenarios.ScenarioSpec`
+onto the existing serial/parallel experiment engine: build the
+topology, lower the spec to an :class:`~repro.experiments.ExperimentConfig`
+(which carries the source plan and perturbations), hand it to
+:func:`~repro.experiments.make_runner` and wrap the outcome with the
+scenario-level metrics (per-source capture ratios, first-capture
+aggregation).
+
+Determinism contract: a scenario swept with ``workers=N`` produces the
+same per-run results, the same aggregate statistics and — because
+:meth:`ScenarioOutcome.to_json` contains no wall-clock data — the very
+same bytes of JSON as the serial sweep.  The test suite and
+``scripts/bench.py`` both enforce this.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..app import OperationalResult
+from ..experiments import ExperimentConfig, make_runner
+from ..metrics import (
+    CaptureStats,
+    FirstCaptureStats,
+    PerSourceCapture,
+    first_capture_stats,
+    per_source_capture_stats,
+)
+from ..topology import NodeId
+from .registry import get_scenario
+from .spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """All runs of one scenario sweep plus scenario-level aggregation."""
+
+    spec: ScenarioSpec
+    topology_name: str
+    config: ExperimentConfig
+    results: Tuple[OperationalResult, ...]
+    stats: CaptureStats
+    per_source: Tuple[PerSourceCapture, ...]
+    first_capture: FirstCaptureStats
+
+    @property
+    def source_pool(self) -> Tuple[NodeId, ...]:
+        """The resolved source nodes of the sweep."""
+        return self.spec.resolved_sources()
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready report of the sweep.
+
+        Deliberately excludes anything non-deterministic (timings,
+        hosts, dates): two sweeps of the same scenario and seeds must
+        serialise to identical bytes whether run serially or across a
+        worker pool.
+        """
+        spec = self.spec
+        return {
+            "scenario": spec.name,
+            "description": spec.description,
+            "topology": {
+                "family": spec.topology.family,
+                "size": spec.topology.size,
+                "name": self.topology_name,
+            },
+            "workload": {
+                "kind": spec.workload_kind(),
+                "sources": list(self.source_pool),
+                "source_rotation_period": spec.source_rotation_period,
+                "perturbations": [repr(p) for p in spec.perturbations],
+            },
+            "algorithm": spec.algorithm,
+            "search_distance": spec.search_distance,
+            "attacker": (
+                spec.attacker.describe() if spec.attacker is not None else "paper"
+            ),
+            "noise": spec.noise,
+            "seeds": {
+                "repeats": self.config.repeats,
+                "base_seed": self.config.base_seed,
+            },
+            "stats": asdict(self.stats),
+            "per_source": [asdict(entry) for entry in self.per_source],
+            "first_capture": asdict(self.first_capture),
+            "runs": [self._run_row(i, r) for i, r in enumerate(self.results)],
+        }
+
+    def _run_row(self, index: int, result: OperationalResult) -> Dict[str, object]:
+        return {
+            "seed": self.config.base_seed + index,
+            "captured": result.captured,
+            "captured_source": result.captured_source,
+            "capture_period": result.capture_period,
+            "capture_time": result.capture_time,
+            "periods_run": result.periods_run,
+            "safety_periods": result.safety_periods,
+            "attacker_moves": max(len(result.attacker_path) - 1, 0),
+            "messages_sent": result.messages_sent,
+            "aggregation_ratio": result.aggregation_ratio,
+        }
+
+    def to_json(self) -> str:
+        """The report serialised canonically (sorted keys, 2-space indent)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def to_jsonl(self) -> str:
+        """One JSON line per run, each carrying the scenario name."""
+        lines = []
+        for index, result in enumerate(self.results):
+            row = {"scenario": self.spec.name}
+            row.update(self._run_row(index, result))
+            lines.append(json.dumps(row, sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+
+class ScenarioRunner:
+    """Runs named or ad-hoc scenarios, serially or across processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes per sweep (the CLI convention: ``None``/``1``
+        = serial, ``0`` = one per CPU).  Fanning out changes nothing
+        but wall-clock time; see the module docstring.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self._workers = workers
+
+    @property
+    def workers(self) -> Optional[int]:
+        """The configured worker count (CLI convention)."""
+        return self._workers
+
+    def run(
+        self,
+        scenario: Union[str, ScenarioSpec],
+        seeds: Optional[int] = None,
+        base_seed: Optional[int] = None,
+    ) -> ScenarioOutcome:
+        """Sweep one scenario.
+
+        Parameters
+        ----------
+        scenario:
+            A registry name or an ad-hoc :class:`ScenarioSpec`.
+        seeds:
+            Override the spec's ``repeats`` (the CLI's ``--seeds``).
+        base_seed:
+            Override the spec's first seed.
+        """
+        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        topology = spec.build_topology()
+        config = spec.to_config(repeats=seeds, base_seed=base_seed)
+        with make_runner(topology, self._workers) as runner:
+            outcome = runner.run(config)
+        return ScenarioOutcome(
+            spec=spec,
+            topology_name=outcome.topology_name,
+            config=config,
+            results=tuple(outcome.results),
+            stats=outcome.stats,
+            per_source=per_source_capture_stats(outcome.results),
+            first_capture=first_capture_stats(outcome.results),
+        )
+
+    def compare(
+        self,
+        scenarios: Sequence[Union[str, ScenarioSpec]],
+        seeds: Optional[int] = None,
+        base_seed: Optional[int] = None,
+    ) -> List[ScenarioOutcome]:
+        """Sweep several scenarios with the same seed settings."""
+        return [self.run(s, seeds=seeds, base_seed=base_seed) for s in scenarios]
+
+
+def format_comparison(outcomes: Sequence[ScenarioOutcome]) -> str:
+    """Render a scenario comparison as a fixed-width table."""
+    header = (
+        f"{'scenario':<22} {'workload':<22} {'runs':>4} "
+        f"{'capture':>8} {'mean period':>12} {'aggregation':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        stats = outcome.stats
+        mean_period = (
+            f"{stats.mean_capture_period:.1f}"
+            if stats.mean_capture_period is not None
+            else "-"
+        )
+        aggregation = sum(r.aggregation_ratio for r in outcome.results) / len(
+            outcome.results
+        )
+        lines.append(
+            f"{outcome.spec.name:<22} {outcome.spec.workload_kind():<22} "
+            f"{stats.runs:>4} {stats.capture_ratio:>8.1%} "
+            f"{mean_period:>12} {aggregation:>12.1%}"
+        )
+    return "\n".join(lines)

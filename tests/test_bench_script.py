@@ -51,7 +51,7 @@ class TestBenchQuickMode:
     def test_all_quick_workloads_present(self, bench_output):
         _, out = bench_output
         workloads = json.loads(out.read_text())["workloads"]
-        assert set(workloads) == {"sweep11", "das_setup", "trace_heavy"}
+        assert set(workloads) == {"sweep11", "das_setup", "trace_heavy", "scenario"}
 
     def test_sweep_identity_checks_pass(self, bench_output):
         _, out = bench_output
@@ -67,6 +67,13 @@ class TestBenchQuickMode:
         trace = json.loads(out.read_text())["workloads"]["trace_heavy"]
         assert trace["outcome_identical"] is True
         assert trace["counting_only_seconds"] > 0
+
+    def test_scenario_identity_checks_pass(self, bench_output):
+        _, out = bench_output
+        scenario = json.loads(out.read_text())["workloads"]["scenario"]
+        assert scenario["scenario"] == "two-sources"
+        assert scenario["results_identical"] is True
+        assert scenario["runs_per_second_serial"] > 0
 
 
 class TestBenchHelpers:
