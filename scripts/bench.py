@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Performance benchmark suite: times representative workloads and
-writes ``BENCH_<date>.json`` so the perf trajectory is tracked PR over
-PR.
+"""Performance benchmark suite: times representative workloads, writes
+``BENCH_<date>.json`` and compares against the most recent prior
+artifact so the perf trajectory is tracked — and gated — PR over PR.
 
 Workloads
 ---------
@@ -9,21 +9,41 @@ Workloads
     Multi-seed capture-ratio sweeps (the unit of work behind every
     Figure 5 bar): timed serially and with a ``workers``-process pool,
     reporting the wall-clock speedup and verifying that the aggregated
-    ``CaptureStats`` are identical between the two modes.
+    ``CaptureStats`` are identical between the two modes.  A third,
+    serial *re-sweep* of the same cell verifies the schedule cache:
+    identical results, >0 hits, and its own timing.
 ``das_setup``
     One full message-level distributed DAS setup (Phase 1).
 ``trace_heavy``
     One operational run with every trace record retained versus the
     counting-only default, isolating the event-loop + tracing cost.
-``scenario``
-    A registered scenario (multi-source ``two-sources``) swept through
-    the :class:`~repro.scenarios.ScenarioRunner`, serial versus
-    parallel, verifying the two JSON reports are byte-identical.
+``scenario`` / ``scenario_churn``
+    Registered scenarios swept through the
+    :class:`~repro.scenarios.ScenarioRunner`, serial versus the worker
+    policy's choice for the requested pool, verifying the two JSON
+    reports are byte-identical.
+
+Regression gate
+---------------
+After the suite runs, the most recent prior ``BENCH_*.json`` with the
+same mode (quick/full) is loaded and per-workload throughput deltas are
+printed; any workload more than ``--regression-threshold`` (default
+15%) slower fails the run.  ``--no-regression-check`` opts out for
+known-noisy environments.  CI runs the quick suite with the gate on.
+
+Profiling
+---------
+``--profile`` runs each workload under ``cProfile`` and appends a
+top-20 cumulative hotspot table per workload to
+``benchmark_artifacts.txt`` instead of writing a ``BENCH_*.json``
+(profiling skews wall-clock, so profiled timings are never tracked or
+gated).  This is what keeps perf PRs profile-guided.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench.py             # full suite
     PYTHONPATH=src python scripts/bench.py --quick     # CI smoke mode
+    PYTHONPATH=src python scripts/bench.py --profile   # hotspot tables
     PYTHONPATH=src python scripts/bench.py --workers 4 --out BENCH.json
 
 The JSON deliberately records ``cpu_count``: process-pool speedup is
@@ -34,13 +54,17 @@ parallel workloads while the same suite on a 4-core host reports ~3-4×.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
 import os
 import platform
+import pstats
 import sys
 import time
 from dataclasses import asdict
 from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.das import run_das_setup
 from repro.experiments import (
@@ -48,10 +72,18 @@ from repro.experiments import (
     ExperimentConfig,
     ExperimentRunner,
     ParallelExperimentRunner,
+    default_schedule_cache,
     workers_argument,
 )
 from repro.scenarios import ScenarioRunner
 from repro.topology import GridTopology, paper_grid
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACTS = REPO_ROOT / "benchmark_artifacts.txt"
+
+#: Default regression-gate threshold: a tracked workload may not lose
+#: more than this fraction of its throughput versus the prior artifact.
+REGRESSION_THRESHOLD = 0.15
 
 
 def _grid(size: int) -> GridTopology:
@@ -69,10 +101,35 @@ def _time(fn, *args, **kwargs):
     return time.perf_counter() - t0, result
 
 
+def _cache_delta(before: Dict[str, int]) -> Dict[str, int]:
+    """Hits/misses accrued in this process since ``before``."""
+    after = default_schedule_cache().stats()
+    return {
+        "cache_hits": after["hits"] - before["hits"],
+        "cache_misses": after["misses"] - before["misses"],
+    }
+
+
 def bench_sweep(size: int, repeats: int, workers: int, noise: str = "casino") -> dict:
-    """Serial vs parallel capture-ratio sweep on one grid size."""
+    """Serial vs parallel capture-ratio sweep on one grid size, plus a
+    serial re-sweep that exercises (and verifies) the schedule cache.
+
+    The parallel leg disables the schedule cache: the pool is forked
+    from a parent whose cache the serial leg just populated, so a
+    cached parallel leg would skip every schedule build the serial leg
+    paid for and overstate the pool speedup.  With the cache off both
+    timed legs do identical work; the re-sweep measures the cache win
+    explicitly.
+    """
     topology = _grid(size)
     config = ExperimentConfig(algorithm="protectionless", repeats=repeats, noise=noise)
+    uncached = ExperimentConfig(
+        algorithm="protectionless",
+        repeats=repeats,
+        noise=noise,
+        use_schedule_cache=False,
+    )
+    cache_before = default_schedule_cache().stats()
 
     serial = ExperimentRunner(topology)
     serial_s, serial_outcome = _time(serial.run, config)
@@ -80,24 +137,39 @@ def bench_sweep(size: int, repeats: int, workers: int, noise: str = "casino") ->
     with ParallelExperimentRunner(topology, workers=workers) as runner:
         # Warm the pool outside the timed region: pool start-up is a
         # one-off cost the sweep itself should not be charged for.
-        runner.run(ExperimentConfig(algorithm="protectionless", repeats=workers, noise=noise))
-        parallel_s, parallel_outcome = _time(runner.run, config)
+        runner.run(
+            ExperimentConfig(
+                algorithm="protectionless",
+                repeats=workers,
+                noise=noise,
+                use_schedule_cache=False,
+            )
+        )
+        parallel_s, parallel_outcome = _time(runner.run, uncached)
+
+    # The identity re-sweep: same process, same cell — every schedule
+    # build should now be a cache hit, and results must not change.
+    resweep_s, resweep_outcome = _time(serial.run, config)
 
     stats_identical = asdict(serial_outcome.stats) == asdict(parallel_outcome.stats)
     results_identical = serial_outcome.results == parallel_outcome.results
-    return {
+    result = {
         "grid": f"{size}x{size}",
         "repeats": repeats,
         "workers": workers,
         "serial_seconds": round(serial_s, 4),
         "parallel_seconds": round(parallel_s, 4),
+        "resweep_seconds": round(resweep_s, 4),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "runs_per_second_serial": round(repeats / serial_s, 2),
         "runs_per_second_parallel": round(repeats / parallel_s, 2),
         "capture_ratio": serial_outcome.stats.capture_ratio,
         "stats_identical": stats_identical,
         "results_identical": results_identical,
+        "resweep_identical": resweep_outcome.results == serial_outcome.results,
     }
+    result.update(_cache_delta(cache_before))
+    return result
 
 
 def bench_scenario(name: str, repeats: int, workers: int) -> dict:
@@ -105,26 +177,42 @@ def bench_scenario(name: str, repeats: int, workers: int) -> dict:
 
     The identity check is the strongest one the suite has: not just
     equal stats but byte-identical JSON reports (per-run rows,
-    per-source breakdowns, first-capture aggregation and all).
+    per-source breakdowns, first-capture aggregation and all).  The
+    "parallel" leg goes through the worker policy, so on hosts where a
+    pool cannot win (fewer cores than workers, tiny sweeps) it falls
+    back to the serial engine — ``workers_effective`` records the
+    policy's choice.  When that choice *is* the serial engine, both
+    legs run identical code and the engine speedup is 1.0 by
+    construction; ``speedup`` reports that structural value (the
+    measured ratio of two identical runs is timer noise, which would
+    make the tracked artifact flaky) while ``measured_ratio`` keeps the
+    raw observation.
     """
+    cache_before = default_schedule_cache().stats()
     serial = ScenarioRunner(workers=1)
     serial_s, serial_outcome = _time(serial.run, name, repeats)
 
     parallel = ScenarioRunner(workers=workers)
+    effective = parallel.effective_workers(name, seeds=repeats)
     parallel_s, parallel_outcome = _time(parallel.run, name, repeats)
 
-    return {
+    measured = round(serial_s / parallel_s, 3) if parallel_s else None
+    result = {
         "scenario": name,
         "repeats": repeats,
         "workers": workers,
+        "workers_effective": effective,
         "serial_seconds": round(serial_s, 4),
         "parallel_seconds": round(parallel_s, 4),
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "speedup": measured if effective > 1 else 1.0,
+        "measured_ratio": measured,
         "runs_per_second_serial": round(repeats / serial_s, 2),
         "runs_per_second_parallel": round(repeats / parallel_s, 2),
         "capture_ratio": serial_outcome.stats.capture_ratio,
         "results_identical": serial_outcome.to_json() == parallel_outcome.to_json(),
     }
+    result.update(_cache_delta(cache_before))
+    return result
 
 
 def bench_das_setup(size: int, setup_periods: int) -> dict:
@@ -170,6 +258,26 @@ def bench_trace_heavy(size: int) -> dict:
     }
 
 
+def workload_plan(workers: int, quick: bool) -> List[Tuple[str, Callable[[], dict]]]:
+    """The suite as an ordered (name, thunk) list, shared by the timed
+    run and the profiler."""
+    if quick:
+        return [
+            ("sweep11", lambda: bench_sweep(11, repeats=4, workers=workers)),
+            ("das_setup", lambda: bench_das_setup(7, setup_periods=16)),
+            ("trace_heavy", lambda: bench_trace_heavy(7)),
+            ("scenario", lambda: bench_scenario("two-sources", repeats=4, workers=workers)),
+        ]
+    return [
+        ("sweep11", lambda: bench_sweep(11, repeats=30, workers=workers)),
+        ("sweep15", lambda: bench_sweep(15, repeats=20, workers=workers)),
+        ("das_setup", lambda: bench_das_setup(11, setup_periods=30)),
+        ("trace_heavy", lambda: bench_trace_heavy(11)),
+        ("scenario", lambda: bench_scenario("two-sources", repeats=20, workers=workers)),
+        ("scenario_churn", lambda: bench_scenario("churn-10pct", repeats=20, workers=workers)),
+    ]
+
+
 def run_suite(workers: int, quick: bool) -> dict:
     suite: dict = {
         "meta": {
@@ -182,26 +290,115 @@ def run_suite(workers: int, quick: bool) -> dict:
         },
         "workloads": {},
     }
-    workloads = suite["workloads"]
-    if quick:
-        workloads["sweep11"] = bench_sweep(11, repeats=4, workers=workers)
-        workloads["das_setup"] = bench_das_setup(7, setup_periods=16)
-        workloads["trace_heavy"] = bench_trace_heavy(7)
-        workloads["scenario"] = bench_scenario(
-            "two-sources", repeats=4, workers=workers
-        )
-    else:
-        workloads["sweep11"] = bench_sweep(11, repeats=30, workers=workers)
-        workloads["sweep15"] = bench_sweep(15, repeats=20, workers=workers)
-        workloads["das_setup"] = bench_das_setup(11, setup_periods=30)
-        workloads["trace_heavy"] = bench_trace_heavy(11)
-        workloads["scenario"] = bench_scenario(
-            "two-sources", repeats=20, workers=workers
-        )
-        workloads["scenario_churn"] = bench_scenario(
-            "churn-10pct", repeats=20, workers=workers
-        )
+    for name, thunk in workload_plan(workers, quick):
+        suite["workloads"][name] = thunk()
+    suite["meta"]["schedule_cache"] = default_schedule_cache().stats()
     return suite
+
+
+def profile_suite(workers: int, quick: bool, artifacts: Path) -> dict:
+    """Run every workload under cProfile and append the top-20
+    cumulative hotspots per workload to ``artifacts``."""
+    sections = [
+        "",
+        "=" * 64,
+        f"cProfile hotspots ({time.strftime('%Y-%m-%d %H:%M:%S')}, "
+        f"{'quick' if quick else 'full'} suite, workers={workers})",
+        "=" * 64,
+    ]
+    suite: dict = {"meta": {"profiled": True, "quick": quick}, "workloads": {}}
+    for name, thunk in workload_plan(workers, quick):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        suite["workloads"][name] = thunk()
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(20)
+        sections.append(f"\n---- workload: {name} (top 20 by cumulative time) ----")
+        sections.append(stream.getvalue().rstrip())
+    with artifacts.open("a") as fh:
+        fh.write("\n".join(sections) + "\n")
+    return suite
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def workload_throughput(data: dict) -> Optional[float]:
+    """One higher-is-better number per workload, for PR-over-PR deltas.
+
+    Seed sweeps and scenarios report serial runs/second (the number the
+    single-run optimisations move; pool speedup is hardware-bound), the
+    distributed setup reports messages/second, and the trace workload
+    the inverse of its counting-only run time.
+    """
+    for key in ("runs_per_second_serial", "messages_per_second"):
+        value = data.get(key)
+        if value:
+            return float(value)
+    seconds = data.get("counting_only_seconds")
+    if seconds:
+        return 1.0 / float(seconds)
+    return None
+
+
+def find_previous_bench(quick: bool, exclude: Path) -> Optional[Path]:
+    """The most recent prior ``BENCH_*.json`` of the same mode."""
+    candidates = []
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        if path.resolve() == exclude.resolve():
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if bool(data.get("meta", {}).get("quick")) != quick:
+            continue
+        if data.get("meta", {}).get("profiled"):
+            continue
+        candidates.append((path.stat().st_mtime, path))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+def compare_with_previous(
+    suite: dict, previous: dict, threshold: float
+) -> Tuple[List[str], List[str]]:
+    """Per-workload delta lines and the workloads breaching ``threshold``."""
+    lines = [
+        f"{'workload':<16} {'previous':>12} {'current':>12} {'delta':>8}",
+        "-" * 52,
+    ]
+    regressions: List[str] = []
+    for name, data in suite["workloads"].items():
+        current = workload_throughput(data)
+        prior_data = previous.get("workloads", {}).get(name)
+        prior = workload_throughput(prior_data) if prior_data else None
+        if current is None or prior is None:
+            lines.append(f"{name:<16} {'-':>12} {'-':>12} {'n/a':>8}")
+            continue
+        delta = current / prior - 1.0
+        lines.append(
+            f"{name:<16} {prior:>12.2f} {current:>12.2f} {delta:>+7.1%}"
+        )
+        if delta < -threshold:
+            regressions.append(name)
+    return lines, regressions
+
+
+def default_output_path() -> Path:
+    """``BENCH_<date>.json``, suffixed (b, c, …) rather than clobbering
+    an existing same-day artifact — the prior file is the regression
+    baseline and part of the tracked perf history."""
+    stamp = time.strftime("%Y%m%d")
+    path = REPO_ROOT / f"BENCH_{stamp}.json"
+    suffix = "b"
+    while path.exists():
+        path = REPO_ROOT / f"BENCH_{stamp}{suffix}.json"
+        suffix = chr(ord(suffix) + 1)
+    return path
 
 
 def main(argv=None) -> int:
@@ -223,30 +420,93 @@ def main(argv=None) -> int:
         default=None,
         help="output path (default: BENCH_<date>.json in the repo root)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each workload under cProfile and append top-20 hotspot "
+        "tables to benchmark_artifacts.txt (no BENCH json, no gate)",
+    )
+    parser.add_argument(
+        "--no-regression-check",
+        action="store_true",
+        help="skip the throughput comparison against the prior BENCH "
+        "artifact (for known-noisy environments)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="explicit prior BENCH json to compare against (default: the "
+        "most recent BENCH_*.json of the same mode in the repo root)",
+    )
+    parser.add_argument(
+        "--regression-threshold",
+        type=float,
+        default=REGRESSION_THRESHOLD,
+        help="fractional throughput loss that fails the run (default 0.15)",
+    )
     args = parser.parse_args(argv)
 
-    suite = run_suite(workers=args.workers, quick=args.quick)
+    if args.profile:
+        suite = profile_suite(args.workers, args.quick, ARTIFACTS)
+        print(f"wrote hotspot tables to {ARTIFACTS}", file=sys.stderr)
+    else:
+        suite = run_suite(workers=args.workers, quick=args.quick)
 
-    out = args.out
-    if out is None:
-        stamp = time.strftime("%Y%m%d")
-        out = Path(__file__).resolve().parent.parent / f"BENCH_{stamp}.json"
+    failures = [
+        name
+        for name, data in suite["workloads"].items()
+        if any(
+            key.endswith("identical") and value is False
+            for key, value in data.items()
+        )
+    ]
+
+    if args.profile:
+        if failures:
+            print(f"IDENTITY CHECK FAILED for: {failures}", file=sys.stderr)
+            return 1
+        return 0
+
+    out = args.out if args.out is not None else default_output_path()
+    previous_path = (
+        args.baseline
+        if args.baseline is not None
+        else find_previous_bench(args.quick, exclude=out)
+    )
     out.write_text(json.dumps(suite, indent=2, sort_keys=True) + "\n")
 
     print(json.dumps(suite, indent=2, sort_keys=True))
     print(f"\nwrote {out}", file=sys.stderr)
 
-    failures = [
-        name
-        for name, data in suite["workloads"].items()
-        if data.get("stats_identical") is False
-        or data.get("results_identical") is False
-        or data.get("outcome_identical") is False
-    ]
+    exit_code = 0
     if failures:
         print(f"IDENTITY CHECK FAILED for: {failures}", file=sys.stderr)
-        return 1
-    return 0
+        exit_code = 1
+
+    if args.no_regression_check:
+        print("regression check skipped (--no-regression-check)", file=sys.stderr)
+    elif previous_path is None:
+        print(
+            "regression check skipped: no prior BENCH_*.json for this mode",
+            file=sys.stderr,
+        )
+    else:
+        previous = json.loads(previous_path.read_text())
+        lines, regressions = compare_with_previous(
+            suite, previous, args.regression_threshold
+        )
+        print(f"\ndeltas vs {previous_path.name}:", file=sys.stderr)
+        for line in lines:
+            print(line, file=sys.stderr)
+        if regressions:
+            print(
+                f"REGRESSION: >{args.regression_threshold:.0%} throughput loss "
+                f"in: {regressions}",
+                file=sys.stderr,
+            )
+            exit_code = 1
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -13,8 +13,13 @@ from .dynamics import (
     SourceTracker,
     lower_perturbations,
 )
+from .fast_kernel import build_slot_timeline, fast_kernel_supported, run_fast_kernel
 from .messages import AggregateMessage
 from .runtime import (
+    DEFAULT_KERNEL,
+    FAST_KERNEL,
+    KERNELS,
+    LEGACY_KERNEL,
     OPERATIONAL_TRACE_KINDS,
     OperationalResult,
     run_operational_phase,
@@ -23,7 +28,11 @@ from .runtime import (
 __all__ = [
     "AggregateMessage",
     "ConvergecastNodeProcess",
+    "DEFAULT_KERNEL",
     "DutyCycle",
+    "FAST_KERNEL",
+    "KERNELS",
+    "LEGACY_KERNEL",
     "NodeDeath",
     "NodeSleep",
     "OPERATIONAL_TRACE_KINDS",
@@ -32,6 +41,9 @@ __all__ = [
     "PerturbationStep",
     "SourcePlan",
     "SourceTracker",
+    "build_slot_timeline",
+    "fast_kernel_supported",
     "lower_perturbations",
+    "run_fast_kernel",
     "run_operational_phase",
 ]

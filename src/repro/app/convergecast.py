@@ -97,8 +97,20 @@ class ConvergecastNodeProcess(Process):
 
     def on_slot(self, period: int, slot: int, time: float) -> None:
         """Broadcast this period's aggregate (every node, every period)."""
+        message = self.emit(period, slot)
+        if message is not None:
+            self.broadcast(message)
+
+    def emit(self, period: int, slot: int) -> Optional[AggregateMessage]:
+        """Build (and account) this slot's aggregate without transmitting.
+
+        Returns ``None`` when the node does not transmit (it is the sink,
+        or a perturbation muted it).  The operational fast kernel calls
+        this directly and hands the message to the radio itself; the TDMA
+        slot hook above is the same logic plus the broadcast.
+        """
         if self._is_sink or self._asleep:
-            return
+            return None
         message = AggregateMessage(
             sender=self.node,
             period=period,
@@ -106,7 +118,7 @@ class ConvergecastNodeProcess(Process):
             origins=frozenset(self._pending),
         )
         self.messages_sent += 1
-        self.broadcast(message)
+        return message
 
     # ------------------------------------------------------------------
     # Radio

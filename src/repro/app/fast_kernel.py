@@ -1,0 +1,174 @@
+"""The operational-phase fast kernel.
+
+The legacy engine drives one evaluation run through the generic event
+heap: one ``_begin_period`` event per TDMA period, one slot event per
+sender per period, one delivery event per broadcast.  Profiling shows
+that for the paper's workloads this generic machinery — heap pushes and
+pops, ``Event`` dispatch, the per-period client/slot re-sorting in the
+TDMA driver — dominates run time, even though the TDMA operational
+phase is almost perfectly *regular*: every period replays the same slot
+timeline, and the only irregular events are scenario perturbations at
+period boundaries.
+
+:func:`run_fast_kernel` exploits that regularity.  It precomputes the
+period's slot timeline once — ``(slot, time offset, senders)`` groups in
+exactly the order the heap would fire them — and then executes periods
+with plain loops:
+
+* period boundaries drain the event heap (perturbation steps keep using
+  real events, so anything scheduled against the simulator still fires
+  at the right point);
+* period-start hooks run in the legacy client order (attacker ``NextP``,
+  source-plan advance, node processes in ascending node id);
+* each slot group transmits through :meth:`RadioMedium.transmit` (noise
+  block-draws, eavesdropper overhearing) and buffers the surviving
+  fan-outs, which are delivered *after* the whole group has transmitted
+  — the order the ``(time, seq)`` heap produced, since deliveries lag
+  transmissions by the propagation delay.
+
+**Equivalence contract.**  A fast-kernel run is bit-identical to a
+legacy run: same RNG draw order (noise decisions in neighbour order per
+broadcast, then the eavesdropper's audibility draw, then any attacker
+tie-break), same trace records and counters, same
+:class:`~repro.app.runtime.OperationalResult`.  ``tests/test_fast_kernel.py``
+enforces this differentially for every registered scenario.  The kernel
+refuses geometries it cannot honour (see :func:`fast_kernel_supported`)
+and the harness falls back to the legacy engine for those.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..attacker import EavesdropperAgent
+from ..mac import TdmaFrame
+from ..simulator import PERIOD_START, Simulator
+from ..topology import NodeId
+from .convergecast import ConvergecastNodeProcess
+from .dynamics import SourceTracker
+
+#: Timeline entry: (slot, offset from period start, senders in fire order).
+_SlotGroup = Tuple[int, float, Tuple[NodeId, ...]]
+
+
+def fast_kernel_supported(frame: TdmaFrame, propagation_delay: float) -> bool:
+    """Whether the fast kernel preserves legacy event order for ``frame``.
+
+    The kernel delivers each slot group's broadcasts before the next
+    group transmits, which matches the heap order only while a delivery
+    (transmission time + propagation delay) lands strictly before the
+    next slot boundary.  Every realistic frame satisfies this (the
+    paper's slots are 0.05 s against a 0.1 ms delay); degenerate frames
+    fall back to the legacy engine.
+    """
+    return frame.slot_duration > propagation_delay
+
+
+def build_slot_timeline(
+    frame: TdmaFrame, processes: Dict[NodeId, ConvergecastNodeProcess]
+) -> Tuple[_SlotGroup, ...]:
+    """Flatten the schedule into per-period slot groups, in fire order.
+
+    The legacy driver schedules one event per ``(node, slot)`` pair at
+    ``slot_start(period, slot)``; the heap therefore fires slots in
+    ascending slot order and, within one slot, in ascending node order
+    (equal timestamps resolve by insertion sequence, and the driver
+    inserts in sorted node order).  The timeline reproduces exactly that
+    order as a flat structure computed once per run.
+
+    The stored offset is ``(slot - 1) × slot_duration`` *relative to the
+    dissemination boundary*, so the kernel can reassemble timestamps in
+    the exact float-addition order of ``TdmaFrame.slot_start`` —
+    ``(period_start + dissemination) + offset``.  Float addition is not
+    associative; grouping differently would shift some frames' trace
+    timestamps by one ulp and break bit-identity with the legacy heap.
+    """
+    by_slot: Dict[int, List[NodeId]] = {}
+    for node, process in processes.items():
+        slot = process.slot
+        if slot is not None:
+            by_slot.setdefault(slot, []).append(node)
+    slot_duration = frame.slot_duration
+    return tuple(
+        (
+            slot,
+            (slot - 1) * slot_duration,
+            tuple(sorted(by_slot[slot])),
+        )
+        for slot in sorted(by_slot)
+    )
+
+
+def run_fast_kernel(
+    sim: Simulator,
+    frame: TdmaFrame,
+    periods_budget: int,
+    processes: Dict[NodeId, ConvergecastNodeProcess],
+    agent: EavesdropperAgent,
+    tracker: SourceTracker,
+) -> int:
+    """Execute the operational phase; returns the last period begun.
+
+    Mirrors ``TdmaDriver`` + ``Simulator.run`` for the regular part of
+    the run while keeping the heap for perturbation steps already
+    scheduled against ``sim``.  See the module docstring for the
+    equivalence contract.
+    """
+    radio = sim.radio
+    trace = sim.trace
+    record = trace.record
+    timeline = build_slot_timeline(frame, processes)
+    ordered_processes = [processes[node] for node in sorted(processes)]
+    period_length = frame.period_length
+    delay = radio.propagation_delay
+    transmit = radio.transmit
+    deliver = radio.deliver
+
+    current_period = 0
+    for period in range(periods_budget):
+        current_period = period
+        boundary = period * period_length
+        # Perturbation steps were queued before anything else, so at a
+        # shared boundary timestamp the heap fires them first — run()
+        # drains everything due, then advances the clock to the boundary.
+        sim.run(until=boundary)
+
+        # Period-start hooks, in the legacy driver's client order: the
+        # attacker's NextP, the source-plan advance (a rotation landing
+        # on the attacker is a capture), then every node process.
+        record(boundary, PERIOD_START, period=period)
+        agent.on_period_start(period, boundary)
+        active = tracker.advance(period)
+        if not agent.captured and agent.location in active:
+            agent.register_capture(agent.location, boundary)
+        for process in ordered_processes:
+            process.on_period_start(period, boundary)
+        if agent.captured:
+            # The legacy engine stops before any slot event of this
+            # period fires; the boundary hooks above already ran.
+            return current_period
+
+        # Matches TdmaFrame.slot_start's left-to-right float addition:
+        # (period_start + dissemination) + (slot - 1) * slot_duration.
+        slot_base = boundary + frame.dissemination_duration
+        for slot, offset, senders in timeline:
+            slot_time = slot_base + offset
+            pending: List[Tuple[NodeId, object, tuple]] = []
+            for node in senders:
+                message = processes[node].emit(period, slot)
+                if message is None:  # the sink, or a muted/dead node
+                    continue
+                surviving = transmit(node, message, slot_time)
+                if surviving:
+                    pending.append((node, message, surviving))
+                if agent.captured:
+                    # A capture ends the run after the event that caused
+                    # it: later senders of this slot never transmit and
+                    # buffered deliveries never fire, exactly as the
+                    # legacy loop stops with those events still queued.
+                    return current_period
+            if pending:
+                deliver_time = slot_time + delay
+                for sender, message, surviving in pending:
+                    deliver(sender, message, surviving, deliver_time)
+    return current_period

@@ -17,7 +17,7 @@ one-shot sleeps, recurring duty cycles) applied at period boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..attacker import AttackerSpec, EavesdropperAgent, paper_attacker
 from ..core import Schedule, safety_period
@@ -42,6 +42,17 @@ from .dynamics import (
     SourceTracker,
     lower_perturbations,
 )
+from .fast_kernel import fast_kernel_supported, run_fast_kernel
+
+#: Kernel identifiers for :func:`run_operational_phase`.
+FAST_KERNEL = "fast"
+LEGACY_KERNEL = "legacy"
+KERNELS = (FAST_KERNEL, LEGACY_KERNEL)
+
+#: The kernel used when a call does not choose one.  The fast kernel is
+#: bit-identical to the legacy engine (differentially tested), so it is
+#: the default; ``legacy`` remains selectable for bisection.
+DEFAULT_KERNEL = FAST_KERNEL
 
 
 @dataclass(frozen=True)
@@ -211,6 +222,8 @@ def run_operational_phase(
     trace_kinds: Optional[frozenset] = OPERATIONAL_TRACE_KINDS,
     source_plan: Optional[SourcePlan] = None,
     perturbations: Sequence[Perturbation] = (),
+    kernel: Optional[str] = None,
+    trace_out: Optional[List] = None,
 ) -> OperationalResult:
     """Simulate the operational phase of one evaluation run.
 
@@ -255,7 +268,27 @@ def run_operational_phase(
         Scheduled mid-run changes (node death, sleeps, duty cycles),
         applied at period boundaries before any event of the period.
         Perturbing the sink or a source-pool node is rejected.
+    kernel:
+        ``"fast"`` (flat slot-timeline execution, the default) or
+        ``"legacy"`` (the event-heap TDMA driver).  The two are
+        bit-identical — same results, same RNG stream, same trace — so
+        the choice is a performance/bisection knob, not a semantic one.
+        ``None`` means :data:`DEFAULT_KERNEL`.  Frames the fast kernel
+        cannot honour (slot shorter than the propagation delay) fall
+        back to the legacy engine automatically.
+    trace_out:
+        Optional list the run's :class:`~repro.simulator.TraceRecorder`
+        is appended to, for tests and tooling that need the trace of a
+        run (the differential kernel tests compare counters this way).
     """
+    resolved_kernel = kernel if kernel is not None else DEFAULT_KERNEL
+    if resolved_kernel not in KERNELS:
+        raise invalid_field(
+            "run_operational_phase",
+            "kernel",
+            kernel,
+            f"pick one of {KERNELS}",
+        )
     spec = attacker if attacker is not None else paper_attacker()
     plan = _resolve_source_plan(topology, source_plan)
     _validate_perturbations(topology, perturbations, plan)
@@ -289,7 +322,6 @@ def run_operational_phase(
         seed=seed,
         trace_kinds=trace_kinds,
     )
-    driver = TdmaDriver(sim, frame)
 
     pool_set = frozenset(source_pool)
     processes: Dict[NodeId, ConvergecastNodeProcess] = {}
@@ -305,7 +337,6 @@ def run_operational_phase(
         )
         processes[node] = proc
         sim.register_process(proc)
-        driver.register(proc, proc.slot)
 
     tracker = SourceTracker(plan)
     start = attacker_start if attacker_start is not None else topology.sink
@@ -319,16 +350,11 @@ def run_operational_phase(
         capture_test=tracker.is_source,
     )
     sim.radio.attach_eavesdropper(agent)
-    # The adapter and the source-plan client need their own client
-    # keys; negative identifiers never collide with a sensor node.
-    # The adapter sorts first so the attacker's NextP precedes the
-    # tracker advance (see _SourcePlanClient).
-    driver.register(_AttackerTdmaAdapter(-2, agent), None)
-    driver.register(_SourcePlanClient(-1, tracker, agent), None)
 
     # Perturbation steps fire at the period boundary *before* the
-    # TDMA driver's own period event: they were queued first, and the
-    # event queue breaks timestamp ties by insertion order.  Death is
+    # period's own processing: they are queued first, and the event
+    # queue breaks timestamp ties by insertion order (the fast kernel
+    # drains all due events before its boundary hooks).  Death is
     # permanent: a wake step from an overlapping sleep schedule must
     # not resurrect a crashed node.
     dead: set = set()
@@ -346,27 +372,51 @@ def run_operational_phase(
             sim.radio.detach(node)
             proc.sleep()
 
-    for period, action, nodes in lower_perturbations(perturbations, periods_budget):
-        sim.schedule_at(frame.period_start(period), _apply_step, (action, nodes))
+    use_fast = resolved_kernel == FAST_KERNEL and fast_kernel_supported(
+        frame, sim.radio.propagation_delay
+    )
+    if use_fast:
+        for period, action, nodes in lower_perturbations(
+            perturbations, periods_budget
+        ):
+            sim.schedule_at(frame.period_start(period), _apply_step, (action, nodes))
+        current_period = run_fast_kernel(
+            sim, frame, periods_budget, processes, agent, tracker
+        )
+    else:
+        driver = TdmaDriver(sim, frame)
+        for node, proc in processes.items():
+            driver.register(proc, proc.slot)
+        # The adapter and the source-plan client need their own client
+        # keys; negative identifiers never collide with a sensor node.
+        # The adapter sorts first so the attacker's NextP precedes the
+        # tracker advance (see _SourcePlanClient).
+        driver.register(_AttackerTdmaAdapter(-2, agent), None)
+        driver.register(_SourcePlanClient(-1, tracker, agent), None)
+        for period, action, nodes in lower_perturbations(
+            perturbations, periods_budget
+        ):
+            sim.schedule_at(frame.period_start(period), _apply_step, (action, nodes))
+        driver.start(stop_after=periods_budget)
+        sim.run(until=periods_budget * frame.period_length + 1e-9)
+        current_period = driver.current_period
 
-    driver.start(stop_after=periods_budget)
-    sim.run(until=periods_budget * frame.period_length + 1e-9)
-
-    periods_run = min(driver.current_period + 1, periods_budget)
+    periods_run = min(current_period + 1, periods_budget)
     sink_proc = processes[topology.sink]
-    sink_proc.finish(driver.current_period)
+    sink_proc.finish(current_period)
     expected = topology.num_nodes - 1
     # A capture stops the run mid-period; that truncated period carries
     # no meaningful aggregation count and is excluded from the mean.
-    complete_through = (
-        driver.current_period if agent.captured else periods_budget
-    )
+    complete_through = current_period if agent.captured else periods_budget
     ratios = [
         count / expected
         for period, count in sink_proc.collected_by_period.items()
         if period < complete_through
     ]
     aggregation = sum(ratios) / len(ratios) if ratios else 0.0
+
+    if trace_out is not None:
+        trace_out.append(sim.trace)
 
     return OperationalResult(
         captured=agent.captured,

@@ -35,6 +35,7 @@ from .experiments import (
     run_figure5,
     workers_argument,
 )
+from .experiments import configure_schedule_cache, default_schedule_cache
 from .scenarios import (
     ScenarioRunner,
     format_comparison,
@@ -52,7 +53,20 @@ def _cmd_table1(_: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_of(args: argparse.Namespace) -> Optional[str]:
+    """The kernel override implied by ``--legacy-kernel``."""
+    return "legacy" if getattr(args, "legacy_kernel", False) else None
+
+
+def _print_cache_summary() -> None:
+    """One line of schedule-cache stats (this process's cache), so a
+    perf regression can be bisected to the cache layer at a glance."""
+    print(default_schedule_cache().summary(), file=sys.stderr)
+
+
 def _cmd_figure5(args: argparse.Namespace) -> int:
+    if args.no_schedule_cache:
+        configure_schedule_cache(enabled=False)
     result = run_figure5(
         args.search_distance,
         sizes=tuple(args.sizes),
@@ -60,8 +74,11 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         noise=args.noise,
         workers=args.workers,
+        kernel=_kernel_of(args),
+        use_schedule_cache=not args.no_schedule_cache,
     )
     print(format_figure5(result))
+    _print_cache_summary()
     return 0
 
 
@@ -148,8 +165,19 @@ def _cmd_scenario_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _make_scenario_runner(args: argparse.Namespace) -> ScenarioRunner:
+    if args.no_schedule_cache:
+        configure_schedule_cache(enabled=False)
+    return ScenarioRunner(
+        workers=args.workers,
+        force_parallel=args.force_parallel,
+        kernel=_kernel_of(args),
+        use_schedule_cache=not args.no_schedule_cache,
+    )
+
+
 def _cmd_scenario_run(args: argparse.Namespace) -> int:
-    runner = ScenarioRunner(workers=args.workers)
+    runner = _make_scenario_runner(args)
     outcome = runner.run(args.name, seeds=args.seeds, base_seed=args.seed)
     if args.jsonl:
         payload = outcome.to_jsonl()
@@ -160,14 +188,16 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(payload)
+    _print_cache_summary()
     return 0
 
 
 def _cmd_scenario_compare(args: argparse.Namespace) -> int:
     names = args.names if args.names else scenario_names()
-    runner = ScenarioRunner(workers=args.workers)
+    runner = _make_scenario_runner(args)
     outcomes = runner.compare(names, seeds=args.seeds, base_seed=args.seed)
     print(format_comparison(outcomes))
+    _print_cache_summary()
     return 0
 
 
@@ -187,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
     workers_help = (
         "worker processes for seed sweeps (default: serial; 0 = one per CPU)"
     )
+    legacy_kernel_help = (
+        "run the operational phase on the legacy event-heap kernel "
+        "instead of the fast kernel (bit-identical; for bisection)"
+    )
+    no_cache_help = (
+        "disable the content-addressed schedule cache "
+        "(bit-identical; for bisection)"
+    )
 
     fig = sub.add_parser("figure5", help="regenerate a Figure 5 panel")
     fig.add_argument("--search-distance", type=int, default=3, choices=(3, 5))
@@ -195,6 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--sizes", type=int, nargs="+", default=list(PAPER_SIZES))
     fig.add_argument("--noise", choices=("casino", "ideal"), default="casino")
     fig.add_argument("--workers", type=workers_argument, default=None, help=workers_help)
+    fig.add_argument("--legacy-kernel", action="store_true", help=legacy_kernel_help)
+    fig.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
     fig.set_defaults(func=_cmd_figure5)
 
     over = sub.add_parser("overhead", help="measure SLP setup overhead")
@@ -231,6 +271,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=workers_argument, default=None, help=workers_help
     )
     scn_run.add_argument(
+        "--force-parallel",
+        action="store_true",
+        help="honour --workers verbatim even where the worker policy "
+        "would fall back to the serial engine",
+    )
+    scn_run.add_argument("--legacy-kernel", action="store_true", help=legacy_kernel_help)
+    scn_run.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
+    scn_run.add_argument(
         "--jsonl",
         action="store_true",
         help="emit one JSON line per run instead of one report object",
@@ -253,6 +301,14 @@ def build_parser() -> argparse.ArgumentParser:
     scn_cmp.add_argument(
         "--workers", type=workers_argument, default=None, help=workers_help
     )
+    scn_cmp.add_argument(
+        "--force-parallel",
+        action="store_true",
+        help="honour --workers verbatim even where the worker policy "
+        "would fall back to the serial engine",
+    )
+    scn_cmp.add_argument("--legacy-kernel", action="store_true", help=legacy_kernel_help)
+    scn_cmp.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
     scn_cmp.set_defaults(func=_cmd_scenario_compare)
 
     show = sub.add_parser("show", help="visualise a refined schedule")

@@ -22,9 +22,11 @@ from .overhead import (
     measure_setup_overhead,
 )
 from .parallel import (
+    MIN_NODE_RUNS_FOR_POOL,
     ParallelExperimentRunner,
     default_workers,
     make_runner,
+    plan_workers,
     seed_chunks,
     workers_argument,
 )
@@ -36,6 +38,14 @@ from .runner import (
     ExperimentOutcome,
     ExperimentRunner,
 )
+from .schedule_cache import (
+    ScheduleCache,
+    configure_schedule_cache,
+    default_schedule_cache,
+    schedule_cache_enabled,
+    schedule_key,
+    topology_fingerprint,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -44,6 +54,7 @@ __all__ = [
     "ExperimentRunner",
     "Figure5Cell",
     "Figure5Result",
+    "MIN_NODE_RUNS_FOR_POOL",
     "OverheadMeasurement",
     "PAPER",
     "PAPER_FIGURE5_REFERENCE",
@@ -52,6 +63,9 @@ __all__ = [
     "ParallelExperimentRunner",
     "PaperParameters",
     "SLP",
+    "ScheduleCache",
+    "configure_schedule_cache",
+    "default_schedule_cache",
     "default_workers",
     "format_figure5",
     "format_overhead",
@@ -60,7 +74,11 @@ __all__ = [
     "make_runner",
     "measure_setup_overhead",
     "paper_topologies",
+    "plan_workers",
     "run_figure5",
+    "schedule_cache_enabled",
+    "schedule_key",
     "seed_chunks",
+    "topology_fingerprint",
     "workers_argument",
 ]

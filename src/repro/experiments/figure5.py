@@ -79,13 +79,18 @@ def run_figure5(
     attacker: Optional[AttackerSpec] = None,
     parameters: PaperParameters = PAPER,
     workers: Optional[int] = None,
+    kernel: Optional[str] = None,
+    use_schedule_cache: bool = True,
 ) -> Figure5Result:
     """Regenerate one panel of Figure 5.
 
     Parameters mirror the paper's setup; reduce ``repeats`` or ``sizes``
     for quick runs (the benchmarks do).  ``workers`` fans the seed
     sweeps out over that many processes (``None`` = serial); results are
-    identical either way.
+    identical either way.  ``kernel`` and ``use_schedule_cache`` are the
+    bisection knobs of the performance layer (also identical either
+    way): the protectionless cells of the two panels share one schedule
+    per (size, seed) through the cache.
     """
     workers = resolve_workers(workers)
     cells = []
@@ -111,6 +116,8 @@ def run_figure5(
                     noise=noise,
                     attacker=attacker,
                     parameters=parameters,
+                    kernel=kernel,
+                    use_schedule_cache=use_schedule_cache,
                 )
             )
             slp = runner.run(
@@ -122,6 +129,8 @@ def run_figure5(
                     noise=noise,
                     attacker=attacker,
                     parameters=parameters,
+                    kernel=kernel,
+                    use_schedule_cache=use_schedule_cache,
                 )
             )
             cells.append(

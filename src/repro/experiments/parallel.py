@@ -33,6 +33,55 @@ def default_workers() -> int:
     return max(os.cpu_count() or 1, 1)
 
 
+#: Dispatch threshold for :func:`plan_workers`: a sweep whose total work
+#: (``repeats × nodes``) falls below this is cheaper to run serially
+#: than to pickle, ship and gather across a pool.  Calibrated on the
+#: tracked bench: the quick-mode scenario sweeps (4 × 121 node-runs)
+#: sit below it, the full sweeps (20-30 × 121+) above.
+MIN_NODE_RUNS_FOR_POOL = 1000
+
+
+def plan_workers(
+    workers: Optional[int],
+    repeats: Optional[int] = None,
+    topology: Optional[Topology] = None,
+    force_parallel: bool = False,
+) -> int:
+    """Resolve a requested worker count into an *effective* one.
+
+    Two situations make a process pool a net loss, both observed on the
+    tracked bench (``scenario_churn`` ran at 0.57× the serial speed with
+    4 workers on a 1-core container):
+
+    * more workers than usable cores — the pool adds pickling and
+      scheduling overhead while the extra processes just time-slice one
+      another; the count is capped at :func:`default_workers`;
+    * a sweep too small to amortise dispatch — when
+      ``repeats × topology nodes`` falls under
+      :data:`MIN_NODE_RUNS_FOR_POOL`, the whole sweep runs serially.
+
+    Returns the worker count to actually use (``1`` = serial).
+    ``force_parallel`` is the escape hatch: the requested count is used
+    verbatim (benchmarks measuring pool overhead itself need this).
+    ``None`` stays serial, ``0`` means one per CPU, as everywhere else.
+    """
+    resolved = resolve_workers(workers)
+    if resolved is None or resolved <= 1:
+        return 1
+    if force_parallel:
+        return resolved
+    effective = min(resolved, default_workers())
+    if effective <= 1:
+        return 1
+    if (
+        repeats is not None
+        and topology is not None
+        and repeats * topology.num_nodes < MIN_NODE_RUNS_FOR_POOL
+    ):
+        return 1
+    return effective
+
+
 def workers_argument(value: str) -> int:
     """argparse converter for ``--workers`` flags, shared by the CLI and
     the scripts: a positive process count, or ``0`` for one per CPU."""
@@ -183,7 +232,10 @@ def resolve_workers(workers: Optional[int]) -> Optional[int]:
 
 
 def make_runner(
-    topology: Topology, workers: Optional[int] = None
+    topology: Topology,
+    workers: Optional[int] = None,
+    repeats: Optional[int] = None,
+    force_parallel: bool = False,
 ) -> ExperimentRunner:
     """Build the right runner for a worker count.
 
@@ -194,8 +246,17 @@ def make_runner(
 
         with make_runner(topology, workers) as runner:
             outcome = runner.run(config)
+
+    When the sweep size is known, pass ``repeats`` so
+    :func:`plan_workers` can fall back to the serial engine where a pool
+    would only add overhead (worker count above the core count, or a
+    sweep too small to amortise dispatch); ``force_parallel=True``
+    bypasses that policy and honours the requested count verbatim.
+    Results are bit-identical whichever engine is picked.
     """
-    workers = resolve_workers(workers)
-    if workers is None or workers == 1:
+    effective = plan_workers(
+        workers, repeats=repeats, topology=topology, force_parallel=force_parallel
+    )
+    if effective <= 1:
         return ExperimentRunner(topology)
-    return ParallelExperimentRunner(topology, workers=workers)
+    return ParallelExperimentRunner(topology, workers=effective)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..app import (
+    KERNELS,
     OperationalResult,
     Perturbation,
     SourcePlan,
@@ -38,6 +39,13 @@ from ..slp import (
 )
 from ..topology import Topology
 from .config import PAPER, PaperParameters
+from .schedule_cache import (
+    ScheduleCache,
+    default_schedule_cache,
+    schedule_cache_enabled,
+    schedule_key,
+    topology_fingerprint,
+)
 
 #: Algorithm identifiers (the two bars of Figure 5).
 PROTECTIONLESS = "protectionless"
@@ -78,6 +86,16 @@ class ExperimentConfig:
         applied in every run of the sweep.
     max_periods:
         Override the safety-period budget per run (``None`` = Eq. 1).
+    kernel:
+        Operational-phase kernel: ``"fast"``, ``"legacy"`` or ``None``
+        (the engine default, currently fast).  Both kernels are
+        bit-identical; the knob exists so regressions can be bisected
+        to a layer.  Carried on the config so parallel workers inherit
+        the choice.
+    use_schedule_cache:
+        Whether :meth:`ExperimentRunner.build_schedule` may reuse
+        memoised schedules (identical either way — schedule building is
+        deterministic).  Carried on the config for the same reason.
     """
 
     algorithm: str = PROTECTIONLESS
@@ -91,8 +109,17 @@ class ExperimentConfig:
     source_plan: Optional[SourcePlan] = None
     perturbations: Tuple[Perturbation, ...] = ()
     max_periods: Optional[int] = None
+    kernel: Optional[str] = None
+    use_schedule_cache: bool = True
 
     def __post_init__(self) -> None:
+        if self.kernel is not None and self.kernel not in KERNELS:
+            raise invalid_field(
+                "ExperimentConfig",
+                "kernel",
+                self.kernel,
+                f"pick one of {KERNELS} (or None for the default)",
+            )
         if self.algorithm not in ALGORITHMS:
             raise invalid_field(
                 "ExperimentConfig",
@@ -145,10 +172,22 @@ class ExperimentRunner:
     Runs execute serially in-process; the drop-in
     :class:`~repro.experiments.ParallelExperimentRunner` fans the same
     sweep out over worker processes with identical results.
+
+    ``schedule_cache`` overrides the process-default
+    :class:`~repro.experiments.schedule_cache.ScheduleCache` consulted
+    by :meth:`build_schedule`; pass an explicit cache to isolate sweeps
+    or ``None`` to share the default (the normal mode — cache hits are
+    what make identity re-sweeps and algorithm comparisons cheap).
     """
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        schedule_cache: Optional[ScheduleCache] = None,
+    ) -> None:
         self._topology = topology
+        self._schedule_cache = schedule_cache
+        self._fingerprint: Optional[str] = None
 
     @property
     def topology(self) -> Topology:
@@ -169,7 +208,35 @@ class ExperimentRunner:
     # Schedule construction
     # ------------------------------------------------------------------
     def build_schedule(self, config: ExperimentConfig, seed: int) -> Schedule:
-        """Build the run's schedule for the configured algorithm."""
+        """Build (or fetch) the run's schedule for the configured algorithm.
+
+        Construction is deterministic in ``(topology content, algorithm,
+        parameters, seed)``, so results are memoised in a
+        content-addressed :class:`ScheduleCache` — a cached build and a
+        fresh one are the same immutable object value.  Disabled per
+        sweep via ``config.use_schedule_cache`` or process-wide via
+        :func:`~repro.experiments.schedule_cache.configure_schedule_cache`.
+        """
+        cache = self._schedule_cache
+        if cache is None and schedule_cache_enabled():
+            cache = default_schedule_cache()
+        if cache is None or not config.use_schedule_cache:
+            return self._build_schedule(config, seed)
+        if self._fingerprint is None:
+            self._fingerprint = topology_fingerprint(self._topology)
+        key = schedule_key(
+            self._fingerprint,
+            self._topology,
+            config.algorithm,
+            seed,
+            config.search_distance,
+            config.use_distributed,
+            config.parameters,
+            config.noise,
+        )
+        return cache.get_or_build(key, lambda: self._build_schedule(config, seed))
+
+    def _build_schedule(self, config: ExperimentConfig, seed: int) -> Schedule:
         params = config.parameters
         if config.algorithm == PROTECTIONLESS:
             if config.use_distributed:
@@ -221,6 +288,7 @@ class ExperimentRunner:
             max_periods=config.max_periods,
             source_plan=config.source_plan,
             perturbations=config.perturbations,
+            kernel=config.kernel,
         )
 
     def run(self, config: ExperimentConfig) -> ExperimentOutcome:

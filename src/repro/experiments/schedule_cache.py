@@ -1,0 +1,185 @@
+"""Content-addressed memoisation of schedule construction.
+
+The evaluation's outer loops rebuild DAS/SLP schedules far more often
+than they strictly need to: the bench's serial-vs-parallel identity
+checks sweep the same ``(topology, algorithm, parameters, seed)`` cells
+twice, ``scenario compare`` lowers many scenarios onto the same 11×11
+grid with the same seeds, and the two panels of Figure 5 share every
+protectionless cell.  Schedule building is deterministic in exactly
+those inputs, so rebuilding is pure waste — ~10–15 % of a sweep run.
+
+:class:`ScheduleCache` is a bounded LRU memo keyed *by content*, not by
+object identity: :func:`topology_fingerprint` hashes the node set, the
+edge set and the sink, so two independently constructed topologies with
+the same structure share cache entries, and changing a single link
+changes the key.  The designated source joins the key only for
+algorithms whose schedule depends on it (SLP's decoy path); the
+protectionless DAS schedule is source-independent, which is what lets
+``scenario compare`` share one schedule across multi-source variants of
+the same grid.
+
+Each process holds one default cache (:func:`default_schedule_cache`):
+the parent's for serial sweeps, one per worker for parallel sweeps
+(workers populate theirs on first use and keep it across chunks).
+Hit/miss counters make the cache observable — ``scripts/bench.py``
+reports them and the CLI prints a one-line summary — and
+``ExperimentConfig(use_schedule_cache=False)`` or the process-wide
+:func:`configure_schedule_cache` switch it off for bisection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core import Schedule
+from ..errors import invalid_field
+from ..topology import Topology
+
+#: Default bound on retained schedules.  Entries are full Schedule
+#: objects (two dicts over the node set), so even 21×21 grids keep the
+#: default cache within a few megabytes.
+DEFAULT_MAXSIZE = 256
+
+
+def topology_fingerprint(topology: Topology) -> str:
+    """A content hash of a topology's communication structure.
+
+    Covers the node set, the (canonicalised) edge set and the sink —
+    everything schedule construction reads apart from the designated
+    source, which :func:`schedule_key` mixes in only when the algorithm
+    depends on it.  Two topologies with identical structure fingerprint
+    identically regardless of name or construction path; adding,
+    removing or rewiring any link changes the fingerprint.
+    """
+    graph = topology.graph
+    digest = hashlib.sha256()
+    digest.update(repr(tuple(sorted(graph.nodes))).encode())
+    edges = tuple(sorted(tuple(sorted(edge)) for edge in graph.edges))
+    digest.update(repr(edges).encode())
+    digest.update(repr(topology.sink).encode())
+    return digest.hexdigest()
+
+
+def schedule_key(
+    fingerprint: str,
+    topology: Topology,
+    algorithm: str,
+    seed: int,
+    search_distance: int,
+    use_distributed: bool,
+    parameters: object,
+    noise: object,
+) -> Tuple:
+    """The cache key for one schedule build.
+
+    ``fingerprint`` is the topology's content hash (hoisted out so
+    callers can compute it once per sweep).  The source and the search
+    distance join the key only for SLP (protectionless DAS ignores
+    both), and the noise specification joins only for distributed
+    builds (the centralised pipeline never draws from it) — omitting
+    irrelevant inputs is what turns algorithm comparisons and
+    multi-source scenario sweeps into cache hits.
+    """
+    slp = algorithm != "protectionless"
+    return (
+        fingerprint,
+        algorithm,
+        seed,
+        (topology.source if topology.has_source else None) if slp else None,
+        search_distance if slp else None,
+        use_distributed,
+        repr(parameters),
+        repr(noise) if use_distributed else None,
+    )
+
+
+class ScheduleCache:
+    """A bounded LRU map from schedule keys to built :class:`Schedule`\\ s.
+
+    Entries are immutable ``Schedule`` objects, safe to share between
+    runs (the operational harness derives its own compressed copy).
+    ``maxsize`` bounds retained entries; the least recently *used* entry
+    is evicted first.  ``hits``/``misses`` count lookups for the
+    observability surfaces (bench, CLI summary).
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise invalid_field(
+                "ScheduleCache", "maxsize", maxsize, "needs room for one entry"
+            )
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, Schedule]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def maxsize(self) -> int:
+        """The retention bound."""
+        return self._maxsize
+
+    def get_or_build(self, key: Tuple, build: Callable[[], Schedule]) -> Schedule:
+        """Return the cached schedule for ``key``, building on miss."""
+        entries = self._entries
+        schedule = entries.get(key)
+        if schedule is not None:
+            self.hits += 1
+            entries.move_to_end(key)
+            return schedule
+        self.misses += 1
+        schedule = build()
+        entries[key] = schedule
+        if len(entries) > self._maxsize:
+            entries.popitem(last=False)
+        return schedule
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the counters (plus current size)."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+    def summary(self) -> str:
+        """One line for CLI/bench output."""
+        total = self.hits + self.misses
+        ratio = (100.0 * self.hits / total) if total else 0.0
+        return (
+            f"schedule cache: {self.hits} hits / {self.misses} misses "
+            f"({ratio:.0f}% hit rate), {len(self._entries)}/{self._maxsize} entries"
+        )
+
+
+#: The per-process default cache (each worker process owns its own).
+_DEFAULT_CACHE = ScheduleCache()
+_ENABLED = True
+
+
+def default_schedule_cache() -> ScheduleCache:
+    """This process's shared schedule cache."""
+    return _DEFAULT_CACHE
+
+
+def schedule_cache_enabled() -> bool:
+    """Whether runners consult the default cache (process-wide switch)."""
+    return _ENABLED
+
+
+def configure_schedule_cache(enabled: Optional[bool] = None) -> None:
+    """Process-wide kill switch (the CLI's ``--no-schedule-cache``).
+
+    Only affects the *current* process — worker processes of a parallel
+    sweep decide from the pickled ``ExperimentConfig.use_schedule_cache``
+    flag instead, which travels with the sweep.
+    """
+    global _ENABLED
+    if enabled is not None:
+        _ENABLED = enabled

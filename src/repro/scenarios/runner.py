@@ -18,11 +18,11 @@ same bytes of JSON as the serial sweep.  The test suite and
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..app import OperationalResult
-from ..experiments import ExperimentConfig, make_runner
+from ..experiments import ExperimentConfig, make_runner, plan_workers
 from ..metrics import (
     CaptureStats,
     FirstCaptureStats,
@@ -127,16 +127,58 @@ class ScenarioRunner:
     workers:
         Worker processes per sweep (the CLI convention: ``None``/``1``
         = serial, ``0`` = one per CPU).  Fanning out changes nothing
-        but wall-clock time; see the module docstring.
+        but wall-clock time; see the module docstring.  The requested
+        count passes through :func:`~repro.experiments.plan_workers`,
+        which falls back to the serial engine when a pool would only
+        add overhead (more workers than cores, or a sweep too small to
+        amortise dispatch).
+    force_parallel:
+        Bypass that fallback and honour ``workers`` verbatim (the CLI's
+        ``--force-parallel``).
+    kernel:
+        Operational kernel override (``"fast"``/``"legacy"``/``None``
+        for the engine default); bit-identical either way.
+    use_schedule_cache:
+        Whether sweeps may reuse memoised schedules (identical either
+        way); ``False`` is the CLI's ``--no-schedule-cache``.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        force_parallel: bool = False,
+        kernel: Optional[str] = None,
+        use_schedule_cache: bool = True,
+    ) -> None:
         self._workers = workers
+        self._force_parallel = force_parallel
+        self._kernel = kernel
+        self._use_schedule_cache = use_schedule_cache
 
     @property
     def workers(self) -> Optional[int]:
         """The configured worker count (CLI convention)."""
         return self._workers
+
+    def effective_workers(
+        self,
+        scenario: Union[str, ScenarioSpec],
+        seeds: Optional[int] = None,
+    ) -> int:
+        """The worker count :meth:`run` will actually use for a sweep
+        (``1`` = serial): the configured request resolved through the
+        worker policy with this scenario's size and repeat count — the
+        same call :meth:`run` makes, so the answer cannot drift from
+        the engine choice (the bench records it as ``workers_effective``).
+        """
+        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        config = spec.to_config(repeats=seeds)
+        return plan_workers(
+            self._workers,
+            repeats=config.repeats,
+            topology=spec.build_topology(),
+            force_parallel=self._force_parallel,
+        )
 
     def run(
         self,
@@ -158,7 +200,21 @@ class ScenarioRunner:
         spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
         topology = spec.build_topology()
         config = spec.to_config(repeats=seeds, base_seed=base_seed)
-        with make_runner(topology, self._workers) as runner:
+        if (
+            self._kernel is not None
+            or not self._use_schedule_cache
+        ):
+            config = replace(
+                config,
+                kernel=self._kernel,
+                use_schedule_cache=self._use_schedule_cache,
+            )
+        with make_runner(
+            topology,
+            self._workers,
+            repeats=config.repeats,
+            force_parallel=self._force_parallel,
+        ) as runner:
             outcome = runner.run(config)
         return ScenarioOutcome(
             spec=spec,

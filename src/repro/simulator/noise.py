@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..topology import NodeId
@@ -31,6 +31,24 @@ class NoiseModel(ABC):
     def delivers(self, sender: NodeId, receiver: NodeId, rng: random.Random) -> bool:
         """Return ``True`` when the frame from ``sender`` reaches ``receiver``."""
 
+    def delivers_block(
+        self, sender: NodeId, receivers: Sequence[NodeId], rng: random.Random
+    ) -> List[bool]:
+        """Per-receiver outcomes for one broadcast, in receiver order.
+
+        The block form exists for the operational fast path: concrete
+        models override it with a loop that binds everything locally and
+        advances per-link state inline, removing the per-receiver method
+        dispatch of :meth:`delivers`.  **RNG contract:** the block MUST
+        consume the run's random stream exactly as ``[self.delivers(
+        sender, r, rng) for r in receivers]`` would — same number of
+        draws, same order — so a run is bit-identical whichever form the
+        medium uses.  This default implementation delegates per call,
+        which keeps third-party models that only override
+        :meth:`delivers` correct automatically.
+        """
+        return [self.delivers(sender, receiver, rng) for receiver in receivers]
+
     def reset(self) -> None:
         """Clear any per-run state.  Called once per simulation run."""
 
@@ -40,6 +58,12 @@ class IdealNoise(NoiseModel):
 
     def delivers(self, sender: NodeId, receiver: NodeId, rng: random.Random) -> bool:
         return True
+
+    def delivers_block(
+        self, sender: NodeId, receivers: Sequence[NodeId], rng: random.Random
+    ) -> List[bool]:
+        # No draws in either form: the per-call path never touches the RNG.
+        return [True] * len(receivers)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "IdealNoise()"
@@ -61,6 +85,14 @@ class BernoulliNoise(NoiseModel):
 
     def delivers(self, sender: NodeId, receiver: NodeId, rng: random.Random) -> bool:
         return rng.random() >= self.loss_probability
+
+    def delivers_block(
+        self, sender: NodeId, receivers: Sequence[NodeId], rng: random.Random
+    ) -> List[bool]:
+        # One draw per receiver, in order — exactly the per-call stream.
+        loss = self.loss_probability
+        rand = rng.random
+        return [rand() >= loss for _ in receivers]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BernoulliNoise(loss_probability={self.loss_probability})"
@@ -127,6 +159,32 @@ class CasinoLabNoise(NoiseModel):
         self._bad[link] = bad
         loss = self.bad_loss if bad else self.good_loss
         return rng.random() >= loss
+
+    def delivers_block(
+        self, sender: NodeId, receivers: Sequence[NodeId], rng: random.Random
+    ) -> List[bool]:
+        # Two draws per receiver (chain advance, then loss), in receiver
+        # order — the same stream :meth:`delivers` consumes per call.
+        rand = rng.random
+        bad_map = self._bad
+        good_loss = self.good_loss
+        bad_loss = self.bad_loss
+        p_good_to_bad = self.p_good_to_bad
+        p_bad_to_good = self.p_bad_to_good
+        out: List[bool] = []
+        append = out.append
+        for receiver in receivers:
+            link = (sender, receiver)
+            bad = bad_map.get(link, False)
+            if bad:
+                if rand() < p_bad_to_good:
+                    bad = False
+            else:
+                if rand() < p_good_to_bad:
+                    bad = True
+            bad_map[link] = bad
+            append(rand() >= (bad_loss if bad else good_loss))
+        return out
 
     def reset(self) -> None:
         self._bad.clear()

@@ -34,13 +34,14 @@ class Process:
     for protocol state.
     """
 
-    __slots__ = ("_node", "_sim", "_channel", "_timers")
+    __slots__ = ("_node", "_sim", "_channel", "_timers", "_draining")
 
     def __init__(self, node: NodeId) -> None:
         self._node = node
         self._sim: Optional["Simulator"] = None
         self._channel = Channel(node)
         self._timers: Dict[str, EventHandle] = {}
+        self._draining = False
 
     # ------------------------------------------------------------------
     # Identity and wiring
@@ -127,9 +128,21 @@ class Process:
 
         Arrivals pass through the FIFO channel so that ``on_receive``
         observes them strictly in arrival order even if a handler
-        triggers further deliveries at the same timestamp.
+        triggers further deliveries at the same timestamp.  The common
+        case — no re-entrant delivery — skips the queue round-trip: the
+        message is handed to ``on_receive`` directly, and only arrivals
+        landing *while a handler runs* are enqueued (the outer drain
+        loop picks them up in order, preserving the FIFO contract).
         """
-        self._channel.enqueue(Delivery(sender=sender, message=message, time=time))
-        while self._channel:
-            delivery = self._channel.dequeue()
-            self.on_receive(delivery.sender, delivery.message, delivery.time)
+        if self._draining:
+            self._channel.enqueue(Delivery(sender=sender, message=message, time=time))
+            return
+        self._draining = True
+        try:
+            self.on_receive(sender, message, time)
+            channel = self._channel
+            while channel:
+                delivery = channel.dequeue()
+                self.on_receive(delivery.sender, delivery.message, delivery.time)
+        finally:
+            self._draining = False

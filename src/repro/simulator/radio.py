@@ -16,15 +16,22 @@ our per-node jitter reproduces).
 
 Hot-path notes.  Broadcast delivery dominates sweep runtime, so the
 medium (a) caches the per-sender fan-out list (attached neighbours and
-their callbacks) and the per-sender audible set instead of rebuilding
-them each transmission, (b) schedules *one* event per broadcast that
-fans out to every surviving receiver when it fires, rather than one
-event per directed delivery, and (c) bypasses trace-record construction
-entirely for kinds the recorder does not retain.  None of this changes
-the event ordering or RNG draw sequence of a run: deliveries of one
-broadcast share a timestamp and fired back-to-back before under the
-``(time, seq)`` order anyway, and noise draws happen at transmission
-time in neighbour order exactly as before.
+their callbacks, plus the receiver-id tuple fed to the noise
+block-draw) and the per-sender audible set instead of rebuilding them
+each transmission, (b) schedules *one* event per broadcast that fans
+out to every surviving receiver when it fires, rather than one event
+per directed delivery, (c) draws all of a broadcast's noise decisions
+through :meth:`NoiseModel.delivers_block` in one call, and (d) bypasses
+trace-record construction entirely for kinds the recorder does not
+retain.  :meth:`RadioMedium.broadcast` is split into
+:meth:`RadioMedium.transmit` (send + noise + eavesdropping, returning
+the surviving fan-out) and :meth:`RadioMedium.deliver` (explicit-time
+fan-out) so the operational fast kernel can run both halves without the
+event heap.  None of this changes the event ordering or RNG draw
+sequence of a run: deliveries of one broadcast share a timestamp and
+fired back-to-back before under the ``(time, seq)`` order anyway, and
+noise draws happen at transmission time in neighbour order exactly as
+before.
 """
 
 from __future__ import annotations
@@ -95,8 +102,9 @@ class RadioMedium:
         self._eavesdroppers: List[Eavesdropper] = []
         #: receiver → time of last arrival, for the collision window.
         self._last_arrival: Dict[NodeId, float] = {}
-        #: sender → fan-out list; invalidated on attach/detach.
-        self._fanout_cache: Dict[NodeId, _Fanout] = {}
+        #: sender → (fan-out list, receiver-id tuple); invalidated on
+        #: attach/detach.  The id tuple feeds the noise block-draw.
+        self._fanout_cache: Dict[NodeId, Tuple[_Fanout, Tuple[NodeId, ...]]] = {}
         #: sender → {sender} ∪ neighbours; topology is immutable, so
         #: entries never need invalidating.
         self._audible_cache: Dict[NodeId, FrozenSet[NodeId]] = {}
@@ -116,6 +124,11 @@ class RadioMedium:
     def noise(self) -> NoiseModel:
         """The active noise model."""
         return self._noise
+
+    @property
+    def propagation_delay(self) -> float:
+        """Fixed sender→receiver latency applied to every delivery."""
+        return self._propagation_delay
 
     # ------------------------------------------------------------------
     # Attachment
@@ -143,17 +156,18 @@ class RadioMedium:
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
-    def _fanout_of(self, sender: NodeId) -> _Fanout:
-        fanout = self._fanout_cache.get(sender)
-        if fanout is None:
+    def _fanout_of(self, sender: NodeId) -> Tuple[_Fanout, Tuple[NodeId, ...]]:
+        cached = self._fanout_cache.get(sender)
+        if cached is None:
             receivers = self._receivers
             fanout = tuple(
                 (neighbour, receivers[neighbour])
                 for neighbour in self._topology.neighbours(sender)
                 if neighbour in receivers
             )
-            self._fanout_cache[sender] = fanout
-        return fanout
+            cached = (fanout, tuple(pair[0] for pair in fanout))
+            self._fanout_cache[sender] = cached
+        return cached
 
     def _audible_of(self, sender: NodeId) -> FrozenSet[NodeId]:
         audible = self._audible_cache.get(sender)
@@ -170,29 +184,54 @@ class RadioMedium:
         its neighbours overhears the frame at transmission time.
         """
         sim = self._sim
-        now = sim.now
-        rng = sim.rng
-        trace = sim.trace
+        surviving = self.transmit(sender, message, sim.now)
+        if surviving:
+            sim.schedule_after(
+                self._propagation_delay,
+                self._deliver_batch,
+                (sender, message, surviving),
+            )
+
+    def transmit(self, sender: NodeId, message: Any, now: float) -> _Fanout:
+        """The transmission half of :meth:`broadcast`: draw noise for the
+        fan-out, let eavesdroppers overhear, and return the surviving
+        deliveries *without scheduling them*.
+
+        The operational fast kernel uses this to batch a whole TDMA
+        slot's deliveries itself; :meth:`broadcast` immediately schedules
+        the returned fan-out at ``propagation_delay``.  RNG draw order is
+        the historical one: one block of noise decisions in neighbour
+        order, then one audibility decision per eavesdropper in range.
+        """
+        rng = self._sim.rng
+        trace = self._sim.trace
         noise = self._noise
         if self._keep_send:
             trace.record(now, trace_kinds.SEND, sender=sender, message=message)
         else:
             trace.bump(trace_kinds.SEND)
 
-        surviving: List[Tuple[NodeId, Callable[[NodeId, Any, float], None]]] = []
-        for receiver, callback in self._fanout_of(sender):
-            if noise.delivers(sender, receiver, rng):
-                surviving.append((receiver, callback))
-            elif self._keep_drop:
-                trace.record(now, trace_kinds.DROP, sender=sender, receiver=receiver)
+        fanout, receiver_ids = self._fanout_of(sender)
+        surviving: _Fanout
+        if not fanout:
+            surviving = ()
+        else:
+            flags = noise.delivers_block(sender, receiver_ids, rng)
+            if all(flags):
+                surviving = fanout
             else:
-                trace.bump(trace_kinds.DROP)
-        if surviving:
-            sim.schedule_after(
-                self._propagation_delay,
-                self._deliver_batch,
-                (sender, message, tuple(surviving)),
-            )
+                kept: List[Tuple[NodeId, Callable[[NodeId, Any, float], None]]] = []
+                keep_drop = self._keep_drop
+                for pair, delivered in zip(fanout, flags):
+                    if delivered:
+                        kept.append(pair)
+                    elif keep_drop:
+                        trace.record(
+                            now, trace_kinds.DROP, sender=sender, receiver=pair[0]
+                        )
+                    else:
+                        trace.bump(trace_kinds.DROP)
+                surviving = tuple(kept)
 
         if self._eavesdroppers:
             audible = self._audible_of(sender)
@@ -209,6 +248,7 @@ class RadioMedium:
                         else:
                             trace.bump(trace_kinds.ATTACKER_HEAR)
                         eavesdropper.overhear(sender, message, now)
+        return surviving
 
     def _deliver_batch(
         self,
@@ -216,15 +256,22 @@ class RadioMedium:
         message: Any,
         deliveries: _Fanout,
     ) -> None:
+        self.deliver(sender, message, deliveries, self._sim.now)
+
+    def deliver(
+        self,
+        sender: NodeId,
+        message: Any,
+        deliveries: _Fanout,
+        now: float,
+    ) -> None:
         """Fan one broadcast out to all its surviving receivers.
 
         Receivers fire in neighbour order — identical to the order the
         per-receiver events of one broadcast popped in before batching,
         since they shared a timestamp and consecutive sequence numbers.
         """
-        sim = self._sim
-        now = sim.now
-        trace = sim.trace
+        trace = self._sim.trace
         window = self._collision_window
         keep_deliver = self._keep_deliver
         if window > 0.0:

@@ -99,3 +99,97 @@ class TestBenchHelpers:
         monkeypatch.setattr(bench, "run_suite", bad_suite)
         out = tmp_path / "b.json"
         assert bench.main(["--quick", "--out", str(out)]) == 1
+
+
+def _fake_suite(runs_per_second: float) -> dict:
+    return {
+        "meta": {"quick": True},
+        "workloads": {
+            "sweep11": {
+                "runs_per_second_serial": runs_per_second,
+                "results_identical": True,
+            },
+            "das_setup": {"messages_per_second": 1000.0},
+        },
+    }
+
+
+class TestRegressionGate:
+    def test_workload_throughput_picks_the_right_metric(self, bench):
+        assert bench.workload_throughput({"runs_per_second_serial": 30.0}) == 30.0
+        assert bench.workload_throughput({"messages_per_second": 9.0}) == 9.0
+        assert bench.workload_throughput({"counting_only_seconds": 0.25}) == 4.0
+        assert bench.workload_throughput({"other": 1}) is None
+
+    def test_compare_flags_breaches_only(self, bench):
+        lines, regressions = bench.compare_with_previous(
+            _fake_suite(10.0), _fake_suite(20.0), threshold=0.15
+        )
+        assert regressions == ["sweep11"]  # -50% breaches, das_setup flat
+        assert any("-50.0%" in line for line in lines)
+        _, ok = bench.compare_with_previous(
+            _fake_suite(19.0), _fake_suite(20.0), threshold=0.15
+        )
+        assert ok == []
+
+    def test_regression_fails_the_run(self, bench, tmp_path, monkeypatch):
+        baseline = tmp_path / "BENCH_prev.json"
+        baseline.write_text(json.dumps(_fake_suite(20.0)))
+        monkeypatch.setattr(bench, "run_suite", lambda workers, quick: _fake_suite(10.0))
+        out = tmp_path / "b.json"
+        argv = ["--quick", "--out", str(out), "--baseline", str(baseline)]
+        assert bench.main(argv) == 1
+        assert bench.main(argv + ["--no-regression-check"]) == 0
+        assert bench.main(argv + ["--regression-threshold", "0.6"]) == 0
+
+    def test_improvement_passes(self, bench, tmp_path, monkeypatch):
+        baseline = tmp_path / "BENCH_prev.json"
+        baseline.write_text(json.dumps(_fake_suite(10.0)))
+        monkeypatch.setattr(bench, "run_suite", lambda workers, quick: _fake_suite(20.0))
+        out = tmp_path / "b.json"
+        assert bench.main(
+            ["--quick", "--out", str(out), "--baseline", str(baseline)]
+        ) == 0
+
+    def test_find_previous_bench_matches_mode(self, bench, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench, "REPO_ROOT", tmp_path)
+        (tmp_path / "BENCH_1.json").write_text(json.dumps({"meta": {"quick": False}}))
+        (tmp_path / "BENCH_2.json").write_text(json.dumps({"meta": {"quick": True}}))
+        out = tmp_path / "BENCH_out.json"
+        assert bench.find_previous_bench(True, exclude=out).name == "BENCH_2.json"
+        assert bench.find_previous_bench(False, exclude=out).name == "BENCH_1.json"
+        # A file is never its own baseline.
+        assert bench.find_previous_bench(False, exclude=tmp_path / "BENCH_1.json") is None
+
+    def test_default_output_never_clobbers(self, bench, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench, "REPO_ROOT", tmp_path)
+        first = bench.default_output_path()
+        first.write_text("{}")
+        second = bench.default_output_path()
+        assert second != first
+        assert second.name.endswith("b.json")
+
+
+class TestProfileMode:
+    def test_profile_writes_hotspot_tables(self, bench, tmp_path, monkeypatch):
+        artifacts = tmp_path / "benchmark_artifacts.txt"
+        monkeypatch.setattr(bench, "ARTIFACTS", artifacts)
+        monkeypatch.setattr(
+            bench,
+            "workload_plan",
+            lambda workers, quick: [("toy", lambda: {"seconds": 0.0})],
+        )
+        assert bench.main(["--quick", "--profile"]) == 0
+        text = artifacts.read_text()
+        assert "cProfile hotspots" in text
+        assert "workload: toy" in text
+        assert "cumulative" in text
+
+    def test_profile_reports_identity_failures(self, bench, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench, "ARTIFACTS", tmp_path / "a.txt")
+        monkeypatch.setattr(
+            bench,
+            "workload_plan",
+            lambda workers, quick: [("toy", lambda: {"results_identical": False})],
+        )
+        assert bench.main(["--quick", "--profile"]) == 1

@@ -1,0 +1,184 @@
+"""Differential tests for the operational-phase fast kernel.
+
+The contract: the fast kernel is *bit-identical* to the legacy
+event-heap engine — same :class:`OperationalResult`, same trace
+counters, same retained records, same RNG consumption — for every
+workload the repository can express.  Every registered scenario is
+driven through both kernels here; the serial/parallel identity of the
+fast kernel is additionally covered by ``tests/test_scenarios.py``
+(the fast kernel is the default, so those sweeps already exercise it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.app import (
+    FAST_KERNEL,
+    LEGACY_KERNEL,
+    build_slot_timeline,
+    fast_kernel_supported,
+    run_operational_phase,
+)
+from repro.das import centralized_das_schedule
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentRunner
+from repro.mac import TdmaFrame
+from repro.scenarios import ScenarioRunner, get_scenario, scenario_names
+from repro.simulator import CasinoLabNoise
+
+#: Seeds per scenario for the differential sweep (kept small: the suite
+#: runs every registered scenario through both kernels).
+DIFF_SEEDS = 2
+
+
+def _run_both(topology, schedule, *, seed, trace_kinds="default", **kwargs):
+    """One run per kernel, returning (results, trace recorders)."""
+    outcomes, traces = [], []
+    for kernel in (LEGACY_KERNEL, FAST_KERNEL):
+        out: list = []
+        extra = {} if trace_kinds == "default" else {"trace_kinds": trace_kinds}
+        outcomes.append(
+            run_operational_phase(
+                topology,
+                schedule,
+                seed=seed,
+                kernel=kernel,
+                trace_out=out,
+                **extra,
+                **kwargs,
+            )
+        )
+        traces.append(out[0])
+    return outcomes, traces
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("name", sorted(scenario_names()))
+    def test_every_registered_scenario_is_bit_identical(self, name):
+        """Results AND trace counters agree, per scenario, per seed."""
+        spec = get_scenario(name)
+        topology = spec.build_topology()
+        config = spec.to_config(repeats=DIFF_SEEDS)
+        runner = ExperimentRunner(topology)
+        for i in range(DIFF_SEEDS):
+            seed = config.base_seed + i
+            schedule = runner.build_schedule(config, seed)
+            (legacy, fast), (legacy_trace, fast_trace) = _run_both(
+                topology,
+                schedule,
+                seed=seed,
+                attacker=config.attacker,
+                noise=config.make_noise(),
+                frame=config.parameters.frame(),
+                safety_factor=config.parameters.safety_factor,
+                max_periods=config.max_periods,
+                source_plan=config.source_plan,
+                perturbations=config.perturbations,
+            )
+            assert legacy == fast
+            assert legacy_trace.counts() == fast_trace.counts()
+
+    def test_full_trace_records_are_identical(self, grid7):
+        """With every kind retained, the record streams match too."""
+        schedule = centralized_das_schedule(grid7, seed=3)
+        (legacy, fast), (legacy_trace, fast_trace) = _run_both(
+            grid7,
+            schedule,
+            seed=3,
+            noise=CasinoLabNoise(),
+            trace_kinds=None,
+        )
+        assert legacy == fast
+        assert legacy_trace.records == fast_trace.records
+
+    def test_scenario_sweeps_identical_serial_and_parallel(self):
+        """ScenarioRunner reports are byte-identical across kernels,
+        through both the serial engine and a forced worker pool."""
+        legacy = ScenarioRunner(workers=1, kernel=LEGACY_KERNEL).run(
+            "churn-10pct", seeds=DIFF_SEEDS
+        )
+        fast_serial = ScenarioRunner(workers=1, kernel=FAST_KERNEL).run(
+            "churn-10pct", seeds=DIFF_SEEDS
+        )
+        fast_parallel = ScenarioRunner(
+            workers=2, force_parallel=True, kernel=FAST_KERNEL
+        ).run("churn-10pct", seeds=DIFF_SEEDS)
+        assert legacy.to_json() == fast_serial.to_json()
+        assert legacy.to_json() == fast_parallel.to_json()
+
+
+class TestKernelSelection:
+    def test_invalid_kernel_rejected(self, grid5, grid5_schedule):
+        with pytest.raises(ConfigurationError, match="kernel"):
+            run_operational_phase(grid5, grid5_schedule, seed=0, kernel="warp")
+
+    def test_unsupported_frame_falls_back_to_legacy(self, grid5, grid5_schedule):
+        """A slot shorter than the propagation delay forces the legacy
+        engine; the outcome still matches an explicit legacy run."""
+        frame = TdmaFrame(num_slots=200, slot_duration=5e-5)
+        assert not fast_kernel_supported(frame, 1e-4)
+        fast = run_operational_phase(
+            grid5, grid5_schedule, seed=1, frame=frame, kernel=FAST_KERNEL
+        )
+        legacy = run_operational_phase(
+            grid5, grid5_schedule, seed=1, frame=frame, kernel=LEGACY_KERNEL
+        )
+        assert fast == legacy
+
+    def test_supported_for_paper_frame(self):
+        assert fast_kernel_supported(TdmaFrame(), 1e-4)
+
+    def test_non_default_frame_timestamps_stay_bit_identical(self, grid7):
+        """Float addition is not associative: a frame whose slot times
+        differ by one ulp between grouping orders must still produce
+        equal capture times (regression: the kernel once precomputed
+        dissemination + offset, diverging from slot_start's order)."""
+        frame = TdmaFrame(
+            num_slots=50, slot_duration=0.1, dissemination_duration=0.3
+        )
+        schedule = centralized_das_schedule(grid7, num_slots=50, seed=0)
+        for seed in range(3):
+            (legacy, fast), _ = _run_both(
+                grid7,
+                schedule,
+                seed=seed,
+                noise=CasinoLabNoise(),
+                frame=frame,
+            )
+            assert legacy == fast
+
+
+class TestSlotTimeline:
+    def test_fire_order_matches_heap_order(self, grid5, grid5_schedule):
+        """Groups ascend by slot; senders ascend within a group; the
+        sink (slot None) never appears."""
+        from repro.app import ConvergecastNodeProcess
+
+        compressed = grid5_schedule.compressed()
+        processes = {}
+        for node in grid5.nodes:
+            is_sink = node == grid5.sink
+            processes[node] = ConvergecastNodeProcess(
+                node,
+                slot=None if is_sink else compressed.slot_of(node),
+                parent=compressed.parent_of(node),
+                is_sink=is_sink,
+                is_source=node == grid5.source,
+            )
+        frame = TdmaFrame()
+        timeline = build_slot_timeline(frame, processes)
+        slots = [slot for slot, _, _ in timeline]
+        assert slots == sorted(slots)
+        seen = set()
+        for slot, offset, senders in timeline:
+            # Reassembled in slot_start's own float-addition order, the
+            # offsets reproduce the heap timestamps exactly.
+            base = frame.period_start(0) + frame.dissemination_duration
+            assert base + offset == frame.slot_start(0, slot)
+            assert list(senders) == sorted(senders)
+            assert grid5.sink not in senders
+            seen.update(senders)
+        assert seen == set(grid5.nodes) - {grid5.sink}

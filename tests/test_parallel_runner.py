@@ -17,13 +17,16 @@ from repro.app import run_operational_phase
 from repro.das import centralized_das_schedule
 from repro.errors import ConfigurationError
 from repro.experiments import (
+    MIN_NODE_RUNS_FOR_POOL,
     ExperimentConfig,
     ExperimentRunner,
     ParallelExperimentRunner,
     default_workers,
     make_runner,
+    plan_workers,
     seed_chunks,
 )
+from repro.experiments import parallel as parallel_module
 from repro.simulator import ATTACKER_MOVE, CAPTURE, CasinoLabNoise
 
 
@@ -57,7 +60,9 @@ class TestMakeRunner:
         assert type(make_runner(grid5, 1)) is ExperimentRunner
 
     def test_parallel_for_multiple_workers(self, grid5):
-        with make_runner(grid5, 2) as runner:
+        # force_parallel bypasses the worker policy (which would pick
+        # the serial engine on a single-core host).
+        with make_runner(grid5, 2, force_parallel=True) as runner:
             assert isinstance(runner, ParallelExperimentRunner)
             assert runner.workers == 2
 
@@ -79,6 +84,49 @@ class TestMakeRunner:
             ParallelExperimentRunner(grid5, workers=-1)
         with pytest.raises(ConfigurationError):
             ParallelExperimentRunner(grid5, workers=2, chunks_per_worker=0)
+
+
+class TestWorkerPolicy:
+    """plan_workers: fall back to serial where a pool cannot win
+    (the bench's scenario_churn regression: 0.57x with 4 workers on a
+    1-core container)."""
+
+    def test_serial_requests_stay_serial(self, grid5):
+        assert plan_workers(None) == 1
+        assert plan_workers(1) == 1
+
+    def test_capped_at_usable_cores(self, grid5, monkeypatch):
+        monkeypatch.setattr(parallel_module, "default_workers", lambda: 2)
+        assert plan_workers(8) == 2
+
+    def test_single_core_falls_back_to_serial(self, grid5, monkeypatch):
+        monkeypatch.setattr(parallel_module, "default_workers", lambda: 1)
+        assert plan_workers(4) == 1
+        assert type(make_runner(grid5, 4)) is ExperimentRunner
+
+    def test_tiny_sweep_falls_back_to_serial(self, grid5, monkeypatch):
+        monkeypatch.setattr(parallel_module, "default_workers", lambda: 8)
+        # 2 repeats x 25 nodes is far below the dispatch threshold.
+        assert plan_workers(4, repeats=2, topology=grid5) == 1
+        big_enough = MIN_NODE_RUNS_FOR_POOL // grid5.num_nodes + 1
+        assert plan_workers(4, repeats=big_enough, topology=grid5) == 4
+
+    def test_force_parallel_is_verbatim(self, grid5, monkeypatch):
+        monkeypatch.setattr(parallel_module, "default_workers", lambda: 1)
+        assert plan_workers(4, repeats=1, topology=grid5, force_parallel=True) == 4
+        runner = make_runner(grid5, 3, repeats=1, force_parallel=True)
+        assert isinstance(runner, ParallelExperimentRunner)
+        assert runner.workers == 3
+
+    def test_policy_choice_never_changes_results(self, grid5):
+        """A sweep the policy would serialize equals a forced-pool sweep."""
+        cfg = ExperimentConfig(repeats=3, noise="casino")
+        with make_runner(grid5, 2, repeats=3) as policy_runner:
+            policy = policy_runner.run(cfg)
+        with make_runner(grid5, 2, force_parallel=True) as forced_runner:
+            forced = forced_runner.run(cfg)
+        assert policy.results == forced.results
+        assert asdict(policy.stats) == asdict(forced.stats)
 
 
 class TestSerialParallelIdentity:

@@ -195,7 +195,12 @@ class TestScenarioRunnerDeterminism:
     @pytest.mark.parametrize("name", sorted(scenario_names()))
     def test_serial_and_parallel_sweeps_are_bit_identical(self, name):
         serial = ScenarioRunner(workers=1).run(name, seeds=IDENTITY_SEEDS)
-        parallel = ScenarioRunner(workers=2).run(name, seeds=IDENTITY_SEEDS)
+        # force_parallel: the worker policy would (rightly) collapse a
+        # 2-seed sweep to the serial engine; this test exists to prove
+        # the pool path is bit-identical, so it must really fan out.
+        parallel = ScenarioRunner(workers=2, force_parallel=True).run(
+            name, seeds=IDENTITY_SEEDS
+        )
         assert serial.results == parallel.results
         assert serial.stats == parallel.stats
         assert serial.per_source == parallel.per_source

@@ -1,0 +1,194 @@
+"""The content-addressed schedule cache: keying, LRU bounds, counters,
+and its integration with the experiment runner.
+
+The load-bearing properties: the key is pinned to topology *content*
+(mutating one link invalidates), irrelevant inputs stay out of the key
+(protectionless schedules are shared across source placements, which is
+what makes ``scenario compare`` hit), and a cached sweep is
+bit-identical to an uncached one.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentRunner,
+    ScheduleCache,
+    configure_schedule_cache,
+    default_schedule_cache,
+    schedule_cache_enabled,
+    schedule_key,
+    topology_fingerprint,
+)
+from repro.topology import GridTopology, Topology
+
+
+def _key(topology, config, seed):
+    return schedule_key(
+        topology_fingerprint(topology),
+        topology,
+        config.algorithm,
+        seed,
+        config.search_distance,
+        config.use_distributed,
+        config.parameters,
+        config.noise,
+    )
+
+
+@pytest.fixture
+def restore_default_cache():
+    """Leave the process-default cache configuration as we found it."""
+    yield
+    configure_schedule_cache(enabled=True)
+
+
+class TestTopologyFingerprint:
+    def test_same_content_same_fingerprint(self):
+        assert topology_fingerprint(GridTopology(5)) == topology_fingerprint(
+            GridTopology(5)
+        )
+
+    def test_mutating_a_link_invalidates(self, grid5):
+        graph = nx.Graph(grid5.graph)
+        graph.remove_edge(0, 1)
+        mutated = Topology(graph, sink=grid5.sink, source=0, name=grid5.name)
+        assert topology_fingerprint(grid5) != topology_fingerprint(mutated)
+
+    def test_sink_is_part_of_the_content(self, grid5):
+        moved = Topology(nx.Graph(grid5.graph), sink=0, source=12, name=grid5.name)
+        assert topology_fingerprint(grid5) != topology_fingerprint(moved)
+
+    def test_name_is_not_content(self, grid5):
+        renamed = Topology(
+            nx.Graph(grid5.graph), sink=grid5.sink, source=0, name="other"
+        )
+        assert topology_fingerprint(grid5) == topology_fingerprint(renamed)
+
+
+class TestScheduleKey:
+    def test_protectionless_ignores_source_and_search_distance(self, grid5):
+        cfg = ExperimentConfig(algorithm="protectionless", repeats=1)
+        resourced = grid5.with_source(3)
+        assert _key(grid5, cfg, 0) == _key(resourced, cfg, 0)
+        assert _key(grid5, cfg, 0) == _key(
+            grid5, ExperimentConfig(algorithm="protectionless", search_distance=5, repeats=1), 0
+        )
+
+    def test_slp_keyed_by_source_and_search_distance(self, grid5):
+        cfg = ExperimentConfig(algorithm="slp", search_distance=2, repeats=1)
+        assert _key(grid5, cfg, 0) != _key(grid5.with_source(3), cfg, 0)
+        wider = ExperimentConfig(algorithm="slp", search_distance=3, repeats=1)
+        assert _key(grid5, cfg, 0) != _key(grid5, wider, 0)
+
+    def test_seed_and_link_mutations_invalidate(self, grid5):
+        cfg = ExperimentConfig(repeats=1)
+        assert _key(grid5, cfg, 0) != _key(grid5, cfg, 1)
+        graph = nx.Graph(grid5.graph)
+        graph.remove_edge(0, 1)
+        mutated = Topology(graph, sink=grid5.sink, source=0)
+        assert _key(grid5, cfg, 0) != _key(mutated, cfg, 0)
+
+    def test_noise_only_keys_distributed_builds(self, grid5):
+        casino = ExperimentConfig(repeats=1, noise="casino")
+        ideal = ExperimentConfig(repeats=1, noise="ideal")
+        assert _key(grid5, casino, 0) == _key(grid5, ideal, 0)
+        casino_d = ExperimentConfig(repeats=1, noise="casino", use_distributed=True)
+        ideal_d = ExperimentConfig(repeats=1, noise="ideal", use_distributed=True)
+        assert _key(grid5, casino_d, 0) != _key(grid5, ideal_d, 0)
+        assert _key(grid5, casino, 0) != _key(grid5, casino_d, 0)
+
+
+class TestScheduleCacheLru:
+    def test_hit_and_miss_counters(self):
+        cache = ScheduleCache(maxsize=4)
+        built = []
+        cache.get_or_build("k", lambda: built.append(1) or "schedule")
+        assert cache.get_or_build("k", lambda: built.append(1) or "schedule") == "schedule"
+        assert (cache.hits, cache.misses, len(built)) == (1, 1, 1)
+        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        assert "1 hits / 1 misses" in cache.summary()
+
+    def test_lru_bound_evicts_least_recently_used(self):
+        cache = ScheduleCache(maxsize=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        cache.get_or_build("a", lambda: "A")  # refresh a; b is now LRU
+        cache.get_or_build("c", lambda: "C")  # evicts b
+        assert len(cache) == 2
+        assert cache.get_or_build("b", lambda: "B2") == "B2"  # miss: rebuilt
+        assert cache.get_or_build("c", lambda: "never") == "C"  # still cached
+        assert (cache.hits, cache.misses) == (2, 4)
+
+    def test_clear_resets_everything(self):
+        cache = ScheduleCache()
+        cache.get_or_build("a", lambda: "A")
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ConfigurationError):
+            ScheduleCache(maxsize=0)
+
+
+class TestRunnerIntegration:
+    def test_build_schedule_memoises(self, grid5):
+        cache = ScheduleCache()
+        runner = ExperimentRunner(grid5, schedule_cache=cache)
+        cfg = ExperimentConfig(repeats=1)
+        first = runner.build_schedule(cfg, seed=7)
+        second = runner.build_schedule(cfg, seed=7)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_content_addressing_shares_across_runner_instances(self, grid5):
+        cache = ScheduleCache()
+        cfg = ExperimentConfig(repeats=1)
+        a = ExperimentRunner(grid5, schedule_cache=cache).build_schedule(cfg, 0)
+        b = ExperimentRunner(GridTopology(5), schedule_cache=cache).build_schedule(
+            cfg, 0
+        )
+        assert a is b
+        assert cache.hits == 1
+
+    def test_config_opt_out_bypasses_the_cache(self, grid5):
+        cache = ScheduleCache()
+        runner = ExperimentRunner(grid5, schedule_cache=cache)
+        cfg = ExperimentConfig(repeats=1, use_schedule_cache=False)
+        first = runner.build_schedule(cfg, 0)
+        second = runner.build_schedule(cfg, 0)
+        assert first is not second
+        assert first == second  # deterministic either way
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_process_wide_kill_switch(self, grid5, restore_default_cache):
+        before = default_schedule_cache().stats()
+        configure_schedule_cache(enabled=False)
+        assert not schedule_cache_enabled()
+        ExperimentRunner(grid5).build_schedule(ExperimentConfig(repeats=1), 99)
+        assert default_schedule_cache().stats() == before
+        configure_schedule_cache(enabled=True)
+        assert schedule_cache_enabled()
+
+    def test_cached_sweep_equals_uncached_sweep(self, grid5):
+        cfg = ExperimentConfig(repeats=4, noise="casino")
+        cached = ExperimentRunner(grid5, schedule_cache=ScheduleCache()).run(cfg)
+        uncached = ExperimentRunner(grid5).run(
+            ExperimentConfig(repeats=4, noise="casino", use_schedule_cache=False)
+        )
+        assert cached.results == uncached.results
+
+    def test_link_mutation_misses_through_the_runner(self, grid5):
+        cache = ScheduleCache()
+        cfg = ExperimentConfig(repeats=1)
+        ExperimentRunner(grid5, schedule_cache=cache).build_schedule(cfg, 0)
+        graph = nx.Graph(grid5.graph)
+        graph.remove_edge(0, 1)
+        mutated = Topology(graph, sink=grid5.sink, source=0, name="mutated")
+        ExperimentRunner(mutated, schedule_cache=cache).build_schedule(cfg, 0)
+        assert cache.hits == 0
+        assert cache.misses == 2
