@@ -20,19 +20,53 @@ BENCH_REPEATS = 20
 BENCH_SEEDS = (0, 1, 2)
 
 #: Regenerated tables/series are also appended here, so the artefacts
-#: survive pytest's output capture (fresh file per session).
+#: survive pytest's output capture (fresh tables per session).
 ARTIFACTS_PATH = Path(__file__).resolve().parent.parent / "benchmark_artifacts.txt"
+
+
+def _load_artifact_sections():
+    """The shared section grammar of the artefact file (one parser for
+    this suite and ``scripts/bench.py --profile``, so the two writers
+    cannot drift and clobber each other's sections)."""
+    import importlib.util
+
+    path = (
+        Path(__file__).resolve().parent.parent / "scripts" / "artifact_sections.py"
+    )
+    spec = importlib.util.spec_from_file_location("artifact_sections", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_artifact_sections = _load_artifact_sections()
+
+
+def _preserved_sections(text: str) -> str:
+    """The parts of the artefact file other writers own.
+
+    ``scripts/bench.py --profile`` appends its cProfile hotspot tables
+    under ``cProfile hotspots`` headers; those are kept verbatim while
+    this suite's own tables are dropped for regeneration (truncating
+    the whole file used to silently discard the profile tables).
+    """
+    return _artifact_sections.filter_sections(
+        text,
+        lambda title: title.startswith(_artifact_sections.PROFILE_SECTION_PREFIX),
+        keep_preamble=False,
+    )
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _fresh_artifacts_file():
-    ARTIFACTS_PATH.write_text("")
+    existing = ARTIFACTS_PATH.read_text() if ARTIFACTS_PATH.exists() else ""
+    ARTIFACTS_PATH.write_text(_preserved_sections(existing))
     yield
 
 
 def emit(title: str, body: str) -> None:
     """Print a regenerated artefact and persist it to the artefact file."""
-    bar = "=" * 64
+    bar = _artifact_sections.BAR
     text = f"\n{bar}\n{title}\n{bar}\n{body}\n"
     print(text)
     with ARTIFACTS_PATH.open("a") as handle:

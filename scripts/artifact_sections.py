@@ -1,0 +1,66 @@
+"""The section grammar of ``benchmark_artifacts.txt``, in one place.
+
+Two writers share the artifact file: the benchmark suite
+(``benchmarks/conftest.py``'s ``emit``) appends regenerated paper
+tables, and ``scripts/bench.py --profile`` appends cProfile hotspot
+tables.  Both mark a section with a bar/title/bar triple::
+
+    ================================================================
+    <title>
+    ================================================================
+    <body ... until the next triple>
+
+Each writer must replace *its own* stale sections while preserving the
+other's, so the parser lives here and both import it — a private copy
+in either writer would drift and silently clobber the other's sections
+again (the original bug).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+#: The section delimiter both writers emit.
+BAR = "=" * 64
+
+#: Title prefix of the profiler's sections (``scripts/bench.py
+#: --profile``); everything else belongs to the benchmark suite.
+PROFILE_SECTION_PREFIX = "cProfile hotspots"
+
+
+def split_sections(text: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Parse ``text`` into ``(preamble, [(title, block), ...])``.
+
+    A block spans from its bar triple (including one preceding blank
+    line, if present — the separator the writers emit) to the start of
+    the next triple; the preamble is anything before the first block.
+    Joining the preamble and every block back together reproduces the
+    input.
+    """
+    lines = text.splitlines()
+    starts = [
+        i
+        for i in range(len(lines) - 2)
+        if lines[i] == BAR and lines[i + 2] == BAR
+    ]
+    bounds = [
+        start - 1 if start > 0 and not lines[start - 1] else start
+        for start in starts
+    ]
+    preamble = "\n".join(lines[: bounds[0]]) if bounds else "\n".join(lines)
+    blocks = []
+    for index, start in enumerate(starts):
+        end = bounds[index + 1] if index + 1 < len(starts) else len(lines)
+        blocks.append((lines[start + 1], "\n".join(lines[bounds[index]:end])))
+    return preamble, blocks
+
+
+def filter_sections(
+    text: str, keep: Callable[[str], bool], keep_preamble: bool = True
+) -> str:
+    """``text`` reduced to the sections whose title satisfies ``keep``."""
+    preamble, blocks = split_sections(text)
+    parts = [block for title, block in blocks if keep(title)]
+    if keep_preamble and preamble:
+        parts.insert(0, preamble)
+    return "\n".join(parts) + ("\n" if parts else "")

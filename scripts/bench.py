@@ -12,6 +12,11 @@ Workloads
     ``CaptureStats`` are identical between the two modes.  A third,
     serial *re-sweep* of the same cell verifies the schedule cache:
     identical results, >0 hits, and its own timing.
+``setup15`` / ``setup7``
+    Cold schedule-construction throughput with the cache disabled:
+    seeded protectionless + SLP centralised builds per second (the
+    setup-phase half of a sweep, moved by the array-backed topology
+    metrics rather than the kernel).
 ``das_setup``
     One full message-level distributed DAS setup (Phase 1).
 ``trace_heavy``
@@ -55,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import importlib.util
 import io
 import json
 import os
@@ -80,6 +86,27 @@ from repro.topology import GridTopology, paper_grid
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 ARTIFACTS = REPO_ROOT / "benchmark_artifacts.txt"
+
+
+def _load_artifact_sections():
+    """Load the shared artifact-section grammar (scripts/ is not a
+    package, and this script is itself loaded via importlib by tests,
+    so a plain relative import is not available)."""
+    path = Path(__file__).resolve().parent / "artifact_sections.py"
+    spec = importlib.util.spec_from_file_location("artifact_sections", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+artifact_sections = _load_artifact_sections()
+
+#: Header prefix of the profiler's sections in ``benchmark_artifacts.txt``.
+#: ``benchmarks/conftest.py`` preserves sections with this prefix when it
+#: resets the file, and ``_without_profile_sections`` replaces stale ones
+#: on the next ``--profile`` run — together they keep exactly one profile
+#: run in the file alongside the benchmark tables.
+PROFILE_SECTION_PREFIX = artifact_sections.PROFILE_SECTION_PREFIX
 
 #: Default regression-gate threshold: a tracked workload may not lose
 #: more than this fraction of its throughput versus the prior artifact.
@@ -215,6 +242,41 @@ def bench_scenario(name: str, repeats: int, workers: int) -> dict:
     return result
 
 
+def bench_setup(size: int, builds: int) -> dict:
+    """Cold schedule-construction throughput (cache disabled).
+
+    Builds ``builds`` seeded protectionless + SLP schedule pairs
+    through :meth:`ExperimentRunner.build_schedule` with the schedule
+    cache off, so every build pays the full centralised pipeline
+    (wave order, repair fixpoint, search, refinement).  This is the
+    setup-phase half of a sweep's cost — the part the array-backed
+    topology metrics move — tracked separately so the regression gate
+    covers it even when sweep workloads are dominated by the kernel.
+    """
+    topology = _grid(size)
+    runner = ExperimentRunner(topology)
+    protectionless = ExperimentConfig(
+        algorithm="protectionless", repeats=builds, use_schedule_cache=False
+    )
+    slp = ExperimentConfig(
+        algorithm="slp", repeats=builds, use_schedule_cache=False
+    )
+
+    def build_all() -> int:
+        for seed in range(builds):
+            runner.build_schedule(protectionless, seed)
+            runner.build_schedule(slp, seed)
+        return 2 * builds
+
+    elapsed, total = _time(build_all)
+    return {
+        "grid": f"{size}x{size}",
+        "builds": total,
+        "seconds": round(elapsed, 4),
+        "builds_per_second": round(total / elapsed, 2),
+    }
+
+
 def bench_das_setup(size: int, setup_periods: int) -> dict:
     """One full message-level distributed DAS setup."""
     topology = _grid(size)
@@ -264,6 +326,7 @@ def workload_plan(workers: int, quick: bool) -> List[Tuple[str, Callable[[], dic
     if quick:
         return [
             ("sweep11", lambda: bench_sweep(11, repeats=4, workers=workers)),
+            ("setup7", lambda: bench_setup(7, builds=4)),
             ("das_setup", lambda: bench_das_setup(7, setup_periods=16)),
             ("trace_heavy", lambda: bench_trace_heavy(7)),
             ("scenario", lambda: bench_scenario("two-sources", repeats=4, workers=workers)),
@@ -271,6 +334,7 @@ def workload_plan(workers: int, quick: bool) -> List[Tuple[str, Callable[[], dic
     return [
         ("sweep11", lambda: bench_sweep(11, repeats=30, workers=workers)),
         ("sweep15", lambda: bench_sweep(15, repeats=20, workers=workers)),
+        ("setup15", lambda: bench_setup(15, builds=10)),
         ("das_setup", lambda: bench_das_setup(11, setup_periods=30)),
         ("trace_heavy", lambda: bench_trace_heavy(11)),
         ("scenario", lambda: bench_scenario("two-sources", repeats=20, workers=workers)),
@@ -296,15 +360,27 @@ def run_suite(workers: int, quick: bool) -> dict:
     return suite
 
 
+def _without_profile_sections(text: str) -> str:
+    """``text`` minus any previous profiler sections, so repeated
+    ``--profile`` runs replace their own tables instead of accumulating
+    in the tracked artifact file (the benchmark suite's sections are
+    preserved verbatim; ``benchmarks/conftest.py`` applies the inverse
+    filter through the same shared grammar)."""
+    return artifact_sections.filter_sections(
+        text, lambda title: not title.startswith(PROFILE_SECTION_PREFIX)
+    )
+
+
 def profile_suite(workers: int, quick: bool, artifacts: Path) -> dict:
     """Run every workload under cProfile and append the top-20
-    cumulative hotspots per workload to ``artifacts``."""
+    cumulative hotspots per workload to ``artifacts`` (replacing the
+    previous run's tables, preserving every other section)."""
     sections = [
         "",
-        "=" * 64,
-        f"cProfile hotspots ({time.strftime('%Y-%m-%d %H:%M:%S')}, "
+        artifact_sections.BAR,
+        f"{PROFILE_SECTION_PREFIX} ({time.strftime('%Y-%m-%d %H:%M:%S')}, "
         f"{'quick' if quick else 'full'} suite, workers={workers})",
-        "=" * 64,
+        artifact_sections.BAR,
     ]
     suite: dict = {"meta": {"profiled": True, "quick": quick}, "workloads": {}}
     for name, thunk in workload_plan(workers, quick):
@@ -317,8 +393,10 @@ def profile_suite(workers: int, quick: bool, artifacts: Path) -> dict:
         stats.sort_stats("cumulative").print_stats(20)
         sections.append(f"\n---- workload: {name} (top 20 by cumulative time) ----")
         sections.append(stream.getvalue().rstrip())
-    with artifacts.open("a") as fh:
-        fh.write("\n".join(sections) + "\n")
+    existing = artifacts.read_text() if artifacts.exists() else ""
+    artifacts.write_text(
+        _without_profile_sections(existing) + "\n".join(sections) + "\n"
+    )
     return suite
 
 
@@ -330,10 +408,11 @@ def workload_throughput(data: dict) -> Optional[float]:
 
     Seed sweeps and scenarios report serial runs/second (the number the
     single-run optimisations move; pool speedup is hardware-bound), the
-    distributed setup reports messages/second, and the trace workload
-    the inverse of its counting-only run time.
+    cold setup workload schedule builds/second, the distributed setup
+    messages/second, and the trace workload the inverse of its
+    counting-only run time.
     """
-    for key in ("runs_per_second_serial", "messages_per_second"):
+    for key in ("runs_per_second_serial", "builds_per_second", "messages_per_second"):
         value = data.get(key)
         if value:
             return float(value)

@@ -13,13 +13,20 @@ from .dynamics import (
     SourceTracker,
     lower_perturbations,
 )
-from .fast_kernel import build_slot_timeline, fast_kernel_supported, run_fast_kernel
+from .fast_kernel import (
+    build_slot_timeline,
+    compile_fast_lane,
+    fast_kernel_supported,
+    fast_lane_compilable,
+    run_fast_kernel,
+)
 from .messages import AggregateMessage
 from .runtime import (
     DEFAULT_KERNEL,
     FAST_KERNEL,
     KERNELS,
     LEGACY_KERNEL,
+    OBJECT_KERNEL,
     OPERATIONAL_TRACE_KINDS,
     OperationalResult,
     run_operational_phase,
@@ -35,6 +42,7 @@ __all__ = [
     "LEGACY_KERNEL",
     "NodeDeath",
     "NodeSleep",
+    "OBJECT_KERNEL",
     "OPERATIONAL_TRACE_KINDS",
     "OperationalResult",
     "Perturbation",
@@ -42,7 +50,9 @@ __all__ = [
     "SourcePlan",
     "SourceTracker",
     "build_slot_timeline",
+    "compile_fast_lane",
     "fast_kernel_supported",
+    "fast_lane_compilable",
     "lower_perturbations",
     "run_fast_kernel",
     "run_operational_phase",

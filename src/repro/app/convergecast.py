@@ -144,6 +144,21 @@ class ConvergecastNodeProcess(Process):
         """Install this node's aggregation children (runtime wiring)."""
         self._children = set(children)
 
+    def adopt_state(
+        self, period: int, pending: Set[NodeId], sent_delta: int
+    ) -> None:
+        """Install externally-evolved per-period state (fast-lane sync).
+
+        The operational fast lane runs the transmit/aggregate chain on
+        flat tables and hands each process its final state back here, so
+        every post-run observation (``finish``, ``messages_sent``,
+        pending origins) reads exactly what the object-driven engines
+        would have left behind.
+        """
+        self._current_period = period
+        self._pending = pending
+        self.messages_sent += sent_delta
+
     def finish(self, period: int) -> None:
         """Flush the final period's sink accounting at run end."""
         if self._is_sink and self._current_period >= 0:

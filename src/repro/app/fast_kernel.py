@@ -1,4 +1,4 @@
-"""The operational-phase fast kernel.
+"""The operational-phase fast kernel and its message-path fast lane.
 
 The legacy engine drives one evaluation run through the generic event
 heap: one ``_begin_period`` event per TDMA period, one slot event per
@@ -20,35 +20,57 @@ with plain loops:
   at the right point);
 * period-start hooks run in the legacy client order (attacker ``NextP``,
   source-plan advance, node processes in ascending node id);
-* each slot group transmits through :meth:`RadioMedium.transmit` (noise
-  block-draws, eavesdropper overhearing) and buffers the surviving
-  fan-outs, which are delivered *after* the whole group has transmitted
-  — the order the ``(time, seq)`` heap produced, since deliveries lag
-  transmissions by the propagation delay.
+* each slot group's broadcasts are transmitted first and delivered
+  *after* the whole group has transmitted — the order the
+  ``(time, seq)`` heap produced, since deliveries lag transmissions by
+  the propagation delay.
 
-**Equivalence contract.**  A fast-kernel run is bit-identical to a
-legacy run: same RNG draw order (noise decisions in neighbour order per
-broadcast, then the eavesdropper's audibility draw, then any attacker
-tie-break), same trace records and counters, same
-:class:`~repro.app.runtime.OperationalResult`.  ``tests/test_fast_kernel.py``
-enforces this differentially for every registered scenario.  The kernel
-refuses geometries it cannot honour (see :func:`fast_kernel_supported`)
-and the harness falls back to the legacy engine for those.
+On top of the flat timeline sits the **message-path fast lane**
+(:func:`compile_fast_lane`): when every process is a plain
+:class:`ConvergecastNodeProcess` and the trace is not retaining
+per-message records, the convergecast behaviour of the run is compiled
+into flat per-node forwarding tables — for each sender, the noise
+receiver-id block, the aggregation target sets of its fan-out, and its
+audibility set — and the whole transmit→noise→deliver→forward chain
+runs as a table-driven loop: no :class:`AggregateMessage` construction,
+no ``RadioMedium.transmit``/``deliver`` calls, no ``Process.deliver`` →
+``on_receive`` dispatch.  Tables are rebuilt whenever the radio's
+attachment epoch moves (node death/sleep/wake perturbations), and the
+lane refuses — falling back to the object-driven loop — any run it
+cannot prove equivalent (see :func:`fast_lane_compilable`).
+
+**Equivalence contract.**  A fast-kernel run — table lane or object
+lane — is bit-identical to a legacy run: same RNG draw order (noise
+decisions in neighbour order per broadcast, then the eavesdropper's
+audibility draw, then any attacker tie-break), same trace records and
+counters, same :class:`~repro.app.runtime.OperationalResult`.
+``tests/test_fast_kernel.py`` enforces this differentially for every
+registered scenario across all three kernels.  The kernel refuses
+geometries it cannot honour (see :func:`fast_kernel_supported`) and the
+harness falls back to the legacy engine for those.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..attacker import EavesdropperAgent
 from ..mac import TdmaFrame
 from ..simulator import PERIOD_START, Simulator
+from ..simulator import trace as trace_kinds
 from ..topology import NodeId
 from .convergecast import ConvergecastNodeProcess
 from .dynamics import SourceTracker
 
 #: Timeline entry: (slot, offset from period start, senders in fire order).
 _SlotGroup = Tuple[int, float, Tuple[NodeId, ...]]
+
+#: Per-sender forwarding-table entry:
+#: (receiver ids fed to the noise block-draw,
+#:  per-receiver aggregation targets — the receiver's live pending set,
+#:  or ``None`` when the receiver ignores this sender's traffic,
+#:  the sender's audibility set for the eavesdropper test).
+_LaneEntry = Tuple[Tuple[NodeId, ...], Tuple[Optional[set], ...], frozenset]
 
 
 def fast_kernel_supported(frame: TdmaFrame, propagation_delay: float) -> bool:
@@ -99,25 +121,261 @@ def build_slot_timeline(
     )
 
 
-def run_fast_kernel(
+# ----------------------------------------------------------------------
+# The message-path fast lane
+# ----------------------------------------------------------------------
+def fast_lane_compilable(
+    sim: Simulator,
+    processes: Dict[NodeId, ConvergecastNodeProcess],
+    agent: EavesdropperAgent,
+    timeline: Tuple[_SlotGroup, ...],
+) -> bool:
+    """Whether the run's behaviour can be compiled into forwarding tables.
+
+    The lane replaces object dispatch with precomputed tables, so it
+    engages only when every behaviour it would bypass is the stock one:
+
+    * every node process is exactly :class:`ConvergecastNodeProcess` —
+      a third-party subclass may override ``emit``/``on_receive`` and
+      must keep the object path;
+    * the eavesdropper is exactly :class:`EavesdropperAgent` (custom
+      agents, including exotic ``capture_test`` wrappers that subclass
+      it, stay on the object path) and is the only listener attached;
+    * the trace is not retaining SEND/DELIVER/DROP records — those
+      streams are per-message objects the lane deliberately never
+      builds (counts are still maintained exactly);
+    * the collision window is off (TDMA operation never uses it);
+    * no slot group contains a sender audible to another sender of the
+      same group.  Def. 1's 2-hop separation guarantees this for every
+      schedule the library builds; it is what lets the lane union live
+      pending sets at delivery time instead of snapshotting a frozen
+      origins set per message, because no sender's aggregate can change
+      between its transmission and its group's delivery.
+    """
+    trace = sim.trace
+    radio = sim.radio
+    if radio.collision_window > 0.0:
+        return False
+    if (
+        trace.wants(trace_kinds.SEND)
+        or trace.wants(trace_kinds.DELIVER)
+        or trace.wants(trace_kinds.DROP)
+    ):
+        return False
+    if type(agent) is not EavesdropperAgent:
+        return False
+    if radio.eavesdroppers != (agent,):
+        return False
+    if any(type(p) is not ConvergecastNodeProcess for p in processes.values()):
+        return False
+    for _slot, _offset, senders in timeline:
+        group = frozenset(senders)
+        for node in senders:
+            # audible_set(node) is {node} ∪ neighbours(node): any other
+            # group member inside it would hear this sender.
+            if not (radio.audible_set(node) & group) <= {node}:
+                return False
+    return True
+
+
+def compile_fast_lane(
+    sim: Simulator,
+    processes: Dict[NodeId, ConvergecastNodeProcess],
+    sink: NodeId,
+    pending: Dict[NodeId, set],
+) -> Tuple[Dict[NodeId, _LaneEntry], Set[NodeId]]:
+    """Compile the per-node forwarding tables for the current radio state.
+
+    For every transmitting node the table stores the receiver-id tuple
+    fed to the noise block-draw (attached neighbours, in the exact order
+    :meth:`RadioMedium.transmit` uses), and — per receiver — either the
+    receiver's *live* pending set (when the receiver aggregates this
+    sender's traffic: it is the sink, or the sender is one of its
+    installed children) or ``None`` (traffic heard and counted, never
+    folded).  Also returns the set of currently muted (asleep) nodes.
+
+    Valid until the radio's attachment :attr:`~RadioMedium.epoch` moves;
+    the run loop recompiles after every perturbation boundary that
+    touched the medium.
+    """
+    radio = sim.radio
+    children_of = {node: proc._children for node, proc in processes.items()}
+    tables: Dict[NodeId, _LaneEntry] = {}
+    for node, proc in processes.items():
+        if proc.slot is None:
+            continue
+        fanout, receiver_ids = radio.fanout(node)
+        targets = tuple(
+            pending[receiver]
+            if (receiver == sink or node in children_of[receiver])
+            else None
+            for receiver, _callback in fanout
+        )
+        tables[node] = (receiver_ids, targets, radio.audible_set(node))
+    muted = {node for node, proc in processes.items() if proc.asleep}
+    return tables, muted
+
+
+def _run_table_lane(
     sim: Simulator,
     frame: TdmaFrame,
     periods_budget: int,
     processes: Dict[NodeId, ConvergecastNodeProcess],
     agent: EavesdropperAgent,
     tracker: SourceTracker,
+    timeline: Tuple[_SlotGroup, ...],
 ) -> int:
-    """Execute the operational phase; returns the last period begun.
+    """Execute the operational phase on compiled forwarding tables.
 
-    Mirrors ``TdmaDriver`` + ``Simulator.run`` for the regular part of
-    the run while keeping the heap for perturbation steps already
-    scheduled against ``sim``.  See the module docstring for the
-    equivalence contract.
+    The per-message chain — emit, noise block, eavesdropper audibility,
+    fan-out, aggregation — runs as plain loops over the tables; the
+    event heap is consulted only at period boundaries (perturbations).
+    State (per-node pending origin sets, send counts, trace totals) is
+    kept flat and synced back onto the process objects and the trace
+    recorder on every exit path, so downstream accounting observes
+    exactly what the object-driven engines would have produced.
     """
     radio = sim.radio
     trace = sim.trace
     record = trace.record
-    timeline = build_slot_timeline(frame, processes)
+    rng = sim.rng
+    noise = radio.noise
+    delivers = noise.delivers
+    delivers_block = noise.delivers_block
+    keep_hear = trace.wants(trace_kinds.ATTACKER_HEAR)
+
+    nodes = sorted(processes)
+    sink = next(node for node in nodes if processes[node].is_sink)
+    sink_collected = processes[sink].collected_by_period
+    pending: Dict[NodeId, set] = {node: set() for node in nodes}
+    sink_pending = pending[sink]
+    sent: Dict[NodeId, int] = dict.fromkeys(nodes, 0)
+
+    tables, muted = compile_fast_lane(sim, processes, sink, pending)
+    built_epoch = radio.epoch
+
+    period_length = frame.period_length
+    dissemination = frame.dissemination_duration
+    sends = delivers_count = drops = hears = 0
+    current_period = 0
+    try:
+        for period in range(periods_budget):
+            current_period = period
+            boundary = period * period_length
+            # Perturbation steps were queued before anything else, so at
+            # a shared boundary timestamp the heap fires them first —
+            # run() drains everything due, then advances the clock.
+            sim.run(until=boundary)
+            if radio.epoch != built_epoch:
+                tables, muted = compile_fast_lane(sim, processes, sink, pending)
+                built_epoch = radio.epoch
+
+            # Period-start hooks, in the legacy driver's client order:
+            # the attacker's NextP, the source-plan advance (a rotation
+            # landing on the attacker is a capture), then every node
+            # process (the resets below are its on_period_start).
+            record(boundary, PERIOD_START, period=period)
+            agent.on_period_start(period, boundary)
+            active = tracker.advance(period)
+            if not agent.captured and agent.location in active:
+                agent.register_capture(agent.location, boundary)
+            if period > 0:
+                sink_collected[period - 1] = len(sink_pending)
+            for node, origins in pending.items():
+                origins.clear()
+                if node != sink:
+                    origins.add(node)
+            if agent.captured:
+                # The legacy engine stops before any slot event of this
+                # period fires; the boundary hooks above already ran.
+                return current_period
+
+            # Matches TdmaFrame.slot_start's float-addition order:
+            # (period_start + dissemination) + (slot - 1) * slot_duration.
+            slot_base = boundary + dissemination
+            for _slot, offset, senders in timeline:
+                slot_time = slot_base + offset
+                group_deliveries: List[Tuple[set, Tuple[Optional[set], ...]]] = []
+                for node in senders:
+                    if node in muted:
+                        continue  # emit() would have returned None
+                    sent[node] += 1
+                    sends += 1
+                    receiver_ids, targets, audible = tables[node]
+                    if receiver_ids:
+                        flags = delivers_block(node, receiver_ids, rng)
+                        if all(flags):
+                            group_deliveries.append((pending[node], targets))
+                        else:
+                            kept = tuple(
+                                target
+                                for target, flag in zip(targets, flags)
+                                if flag
+                            )
+                            drops += len(targets) - len(kept)
+                            if kept:
+                                group_deliveries.append((pending[node], kept))
+                    if agent.location in audible:
+                        if delivers(node, -1, rng):
+                            if keep_hear:
+                                record(
+                                    slot_time,
+                                    trace_kinds.ATTACKER_HEAR,
+                                    sender=node,
+                                    location=agent.location,
+                                )
+                            else:
+                                hears += 1
+                            agent.overhear(node, None, slot_time)
+                    if agent.captured:
+                        # A capture ends the run after the event that
+                        # caused it: later senders of this slot never
+                        # transmit and the group's buffered deliveries
+                        # never fire, exactly as the legacy loop stops
+                        # with those events still queued.
+                        return current_period
+                # Deliver the whole group after it transmitted (the
+                # (time, seq) heap order).  Union order is irrelevant
+                # for set aggregation; the group-isolation compile check
+                # guarantees no sender's origins changed since it sent.
+                # DELIVER is counted here, not at transmit time: a
+                # capture mid-group discards the buffered deliveries,
+                # and the legacy engine never counts undelivered ones.
+                for origins, kept_targets in group_deliveries:
+                    delivers_count += len(kept_targets)
+                    for target in kept_targets:
+                        if target is not None:
+                            target |= origins
+        return current_period
+    finally:
+        trace.bump_many(trace_kinds.SEND, sends)
+        trace.bump_many(trace_kinds.DELIVER, delivers_count)
+        trace.bump_many(trace_kinds.DROP, drops)
+        trace.bump_many(trace_kinds.ATTACKER_HEAR, hears)
+        for node in nodes:
+            processes[node].adopt_state(current_period, pending[node], sent[node])
+
+
+def _run_object_lane(
+    sim: Simulator,
+    frame: TdmaFrame,
+    periods_budget: int,
+    processes: Dict[NodeId, ConvergecastNodeProcess],
+    agent: EavesdropperAgent,
+    tracker: SourceTracker,
+    timeline: Tuple[_SlotGroup, ...],
+) -> int:
+    """The object-driven flat-timeline loop (no forwarding tables).
+
+    Runs every broadcast through :meth:`RadioMedium.transmit` /
+    :meth:`RadioMedium.deliver` and every arrival through
+    ``Process.deliver`` → ``on_receive``, so arbitrary process
+    subclasses, retained per-message traces and collision windows all
+    behave exactly as under the legacy heap.
+    """
+    radio = sim.radio
+    trace = sim.trace
+    record = trace.record
     ordered_processes = [processes[node] for node in sorted(processes)]
     period_length = frame.period_length
     delay = radio.propagation_delay
@@ -172,3 +430,34 @@ def run_fast_kernel(
                 for sender, message, surviving in pending:
                     deliver(sender, message, surviving, deliver_time)
     return current_period
+
+
+def run_fast_kernel(
+    sim: Simulator,
+    frame: TdmaFrame,
+    periods_budget: int,
+    processes: Dict[NodeId, ConvergecastNodeProcess],
+    agent: EavesdropperAgent,
+    tracker: SourceTracker,
+    use_tables: bool = True,
+) -> int:
+    """Execute the operational phase; returns the last period begun.
+
+    Mirrors ``TdmaDriver`` + ``Simulator.run`` for the regular part of
+    the run while keeping the heap for perturbation steps already
+    scheduled against ``sim``.  With ``use_tables`` (the default) the
+    run goes through the table-driven message-path fast lane whenever
+    :func:`fast_lane_compilable` can prove it equivalent, and falls back
+    to the object-driven loop otherwise; ``use_tables=False`` forces the
+    object loop (the ``fast-object`` kernel — the bisection knob between
+    the lane and the flat timeline).  See the module docstring for the
+    equivalence contract.
+    """
+    timeline = build_slot_timeline(frame, processes)
+    if use_tables and fast_lane_compilable(sim, processes, agent, timeline):
+        return _run_table_lane(
+            sim, frame, periods_budget, processes, agent, tracker, timeline
+        )
+    return _run_object_lane(
+        sim, frame, periods_budget, processes, agent, tracker, timeline
+    )

@@ -46,12 +46,15 @@ from .fast_kernel import fast_kernel_supported, run_fast_kernel
 
 #: Kernel identifiers for :func:`run_operational_phase`.
 FAST_KERNEL = "fast"
+OBJECT_KERNEL = "fast-object"
 LEGACY_KERNEL = "legacy"
-KERNELS = (FAST_KERNEL, LEGACY_KERNEL)
+KERNELS = (FAST_KERNEL, OBJECT_KERNEL, LEGACY_KERNEL)
 
-#: The kernel used when a call does not choose one.  The fast kernel is
-#: bit-identical to the legacy engine (differentially tested), so it is
-#: the default; ``legacy`` remains selectable for bisection.
+#: The kernel used when a call does not choose one.  All kernels are
+#: bit-identical (differentially tested), so the fastest is the
+#: default; ``fast-object`` (the flat timeline without the forwarding
+#: tables) and ``legacy`` (the event heap) remain selectable so a
+#: regression can be bisected to a layer.
 DEFAULT_KERNEL = FAST_KERNEL
 
 
@@ -269,13 +272,17 @@ def run_operational_phase(
         applied at period boundaries before any event of the period.
         Perturbing the sink or a source-pool node is rejected.
     kernel:
-        ``"fast"`` (flat slot-timeline execution, the default) or
-        ``"legacy"`` (the event-heap TDMA driver).  The two are
+        ``"fast"`` (flat slot timeline + the table-driven message-path
+        fast lane, the default), ``"fast-object"`` (the flat timeline
+        with object-driven dispatch — the ``--no-fast-lane`` bisection
+        point) or ``"legacy"`` (the event-heap TDMA driver).  All are
         bit-identical — same results, same RNG stream, same trace — so
         the choice is a performance/bisection knob, not a semantic one.
         ``None`` means :data:`DEFAULT_KERNEL`.  Frames the fast kernel
         cannot honour (slot shorter than the propagation delay) fall
-        back to the legacy engine automatically.
+        back to the legacy engine automatically, and runs the fast lane
+        cannot compile (process subclasses, retained per-message
+        traces) fall back to the object-driven loop.
     trace_out:
         Optional list the run's :class:`~repro.simulator.TraceRecorder`
         is appended to, for tests and tooling that need the trace of a
@@ -372,16 +379,23 @@ def run_operational_phase(
             sim.radio.detach(node)
             proc.sleep()
 
-    use_fast = resolved_kernel == FAST_KERNEL and fast_kernel_supported(
-        frame, sim.radio.propagation_delay
-    )
+    use_fast = resolved_kernel in (
+        FAST_KERNEL,
+        OBJECT_KERNEL,
+    ) and fast_kernel_supported(frame, sim.radio.propagation_delay)
     if use_fast:
         for period, action, nodes in lower_perturbations(
             perturbations, periods_budget
         ):
             sim.schedule_at(frame.period_start(period), _apply_step, (action, nodes))
         current_period = run_fast_kernel(
-            sim, frame, periods_budget, processes, agent, tracker
+            sim,
+            frame,
+            periods_budget,
+            processes,
+            agent,
+            tracker,
+            use_tables=resolved_kernel == FAST_KERNEL,
         )
     else:
         driver = TdmaDriver(sim, frame)

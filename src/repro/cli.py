@@ -54,8 +54,18 @@ def _cmd_table1(_: argparse.Namespace) -> int:
 
 
 def _kernel_of(args: argparse.Namespace) -> Optional[str]:
-    """The kernel override implied by ``--legacy-kernel``."""
-    return "legacy" if getattr(args, "legacy_kernel", False) else None
+    """The kernel override implied by ``--legacy-kernel``/``--no-fast-lane``.
+
+    ``--legacy-kernel`` selects the event-heap engine; ``--no-fast-lane``
+    keeps the fast kernel but disables its table-driven message lane
+    (the ``fast-object`` kernel) — the bisection point between the flat
+    timeline and the forwarding tables.
+    """
+    if getattr(args, "legacy_kernel", False):
+        return "legacy"
+    if getattr(args, "no_fast_lane", False):
+        return "fast-object"
+    return None
 
 
 def _print_cache_summary() -> None:
@@ -225,6 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
         "disable the content-addressed schedule cache "
         "(bit-identical; for bisection)"
     )
+    no_fast_lane_help = (
+        "keep the fast kernel but disable its table-driven message-path "
+        "fast lane (bit-identical; for bisection)"
+    )
 
     fig = sub.add_parser("figure5", help="regenerate a Figure 5 panel")
     fig.add_argument("--search-distance", type=int, default=3, choices=(3, 5))
@@ -234,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--noise", choices=("casino", "ideal"), default="casino")
     fig.add_argument("--workers", type=workers_argument, default=None, help=workers_help)
     fig.add_argument("--legacy-kernel", action="store_true", help=legacy_kernel_help)
+    fig.add_argument("--no-fast-lane", action="store_true", help=no_fast_lane_help)
     fig.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
     fig.set_defaults(func=_cmd_figure5)
 
@@ -277,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         "would fall back to the serial engine",
     )
     scn_run.add_argument("--legacy-kernel", action="store_true", help=legacy_kernel_help)
+    scn_run.add_argument("--no-fast-lane", action="store_true", help=no_fast_lane_help)
     scn_run.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
     scn_run.add_argument(
         "--jsonl",
@@ -308,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
         "would fall back to the serial engine",
     )
     scn_cmp.add_argument("--legacy-kernel", action="store_true", help=legacy_kernel_help)
+    scn_cmp.add_argument("--no-fast-lane", action="store_true", help=no_fast_lane_help)
     scn_cmp.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
     scn_cmp.set_defaults(func=_cmd_scenario_compare)
 

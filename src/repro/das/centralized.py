@@ -82,35 +82,46 @@ def _repair(
     of passes (asserted by the test-suite).
     """
     sink = topology.sink
+    # Hoist the per-pass topology queries into flat tables once: the
+    # fixpoint re-reads the same structure every pass, and the per-call
+    # lookups used to dominate schedule construction.  ``tuple()`` of a
+    # cached frozenset preserves its iteration order, so the collision
+    # pairs are processed in exactly the order the direct iteration
+    # produced — that order feeds the tie-breaks and must not change.
+    nodes = [n for n in topology.nodes if n != sink]
+    spc = {
+        n: tuple(m for m in topology.shortest_path_children(n) if m != sink)
+        for n in nodes
+    }
+    collision_pairs = {
+        n: tuple(
+            m for m in topology.collision_neighbourhood(n) if m != sink and m > n
+        )
+        for n in nodes
+    }
+    hop = {n: topology.sink_distance(n) for n in topology.nodes}
     for _ in range(max_passes):
         changed = False
 
         # Def. 2 condition 3: every shortest-path-toward-sink neighbour
         # must transmit later, i.e. hold a strictly larger slot.
-        for n in topology.nodes:
-            if n == sink:
-                continue
-            for m in topology.shortest_path_children(n):
-                if m == sink:
-                    continue
-                if slots[n] >= slots[m]:
-                    slots[n] = slots[m] - 1
+        for n in nodes:
+            slot_n = slots[n]
+            for m in spc[n]:
+                if slot_n >= slots[m]:
+                    slot_n = slots[m] - 1
                     changed = True
+            if slot_n != slots[n]:
+                slots[n] = slot_n
 
         # Def. 2 condition 4 via Def. 1: no slot shared within 2 hops.
         # The deeper node yields; at equal depth the lower-priority
         # (later-heard) node yields, as arrival order would dictate.
-        for n in sorted(topology.nodes):
-            if n == sink:
-                continue
-            for m in topology.collision_neighbourhood(n):
-                if m == sink or m <= n:
-                    continue
+        for n in nodes:
+            for m in collision_pairs[n]:
                 if slots[n] == slots[m]:
-                    hop_n = topology.sink_distance(n)
-                    hop_m = topology.sink_distance(m)
-                    key_n = (hop_n, priority[n], n)
-                    key_m = (hop_m, priority[m], m)
+                    key_n = (hop[n], priority[n], n)
+                    key_m = (hop[m], priority[m], m)
                     loser = m if key_m > key_n else n
                     slots[loser] -= 1
                     changed = True

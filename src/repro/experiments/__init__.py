@@ -41,7 +41,10 @@ from .runner import (
 from .schedule_cache import (
     ScheduleCache,
     configure_schedule_cache,
+    default_cache,
+    default_cache_stats,
     default_schedule_cache,
+    reset_default_cache,
     schedule_cache_enabled,
     schedule_key,
     topology_fingerprint,
@@ -65,8 +68,11 @@ __all__ = [
     "SLP",
     "ScheduleCache",
     "configure_schedule_cache",
+    "default_cache",
+    "default_cache_stats",
     "default_schedule_cache",
     "default_workers",
+    "reset_default_cache",
     "format_figure5",
     "format_overhead",
     "format_table1",

@@ -96,6 +96,13 @@ class ExperimentConfig:
         Whether :meth:`ExperimentRunner.build_schedule` may reuse
         memoised schedules (identical either way — schedule building is
         deterministic).  Carried on the config for the same reason.
+    schedule_jitter:
+        Whether centralised Phase 1 builds draw TOSSIM-like random
+        arrival-order priorities from the run seed (the default, and
+        the paper's behaviour).  ``False`` uses identifier-ordered
+        priorities: one canonical schedule per topology regardless of
+        seed, which the schedule cache then keys *without* the seed —
+        a 30-seed sweep builds once.
     """
 
     algorithm: str = PROTECTIONLESS
@@ -111,6 +118,19 @@ class ExperimentConfig:
     max_periods: Optional[int] = None
     kernel: Optional[str] = None
     use_schedule_cache: bool = True
+    schedule_jitter: bool = True
+
+    @property
+    def seeded_schedule(self) -> bool:
+        """Whether schedule construction draws any randomness from the
+        run seed.  Distributed builds always do (message timing), SLP
+        always does (search/refinement tie-breaks); a centralised
+        protectionless build only through the jittered priorities."""
+        return (
+            self.use_distributed
+            or self.algorithm != PROTECTIONLESS
+            or self.schedule_jitter
+        )
 
     def __post_init__(self) -> None:
         if self.kernel is not None and self.kernel not in KERNELS:
@@ -233,6 +253,8 @@ class ExperimentRunner:
             config.use_distributed,
             config.parameters,
             config.noise,
+            seeded=config.seeded_schedule,
+            jitter=config.schedule_jitter,
         )
         return cache.get_or_build(key, lambda: self._build_schedule(config, seed))
 
@@ -247,7 +269,10 @@ class ExperimentRunner:
                     noise=config.make_noise(),
                 ).schedule
             return centralized_das_schedule(
-                self._topology, num_slots=params.num_slots, seed=seed
+                self._topology,
+                num_slots=params.num_slots,
+                seed=seed,
+                jitter=config.schedule_jitter,
             )
         # SLP DAS.
         if config.use_distributed:
@@ -269,6 +294,7 @@ class ExperimentRunner:
             SlpParameters(search_distance=config.search_distance),
             num_slots=params.num_slots,
             seed=seed,
+            jitter=config.schedule_jitter,
         ).schedule
 
     # ------------------------------------------------------------------

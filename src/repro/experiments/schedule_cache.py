@@ -71,6 +71,8 @@ def schedule_key(
     use_distributed: bool,
     parameters: object,
     noise: object,
+    seeded: bool = True,
+    jitter: bool = True,
 ) -> Tuple:
     """The cache key for one schedule build.
 
@@ -81,15 +83,30 @@ def schedule_key(
     builds (the centralised pipeline never draws from it) — omitting
     irrelevant inputs is what turns algorithm comparisons and
     multi-source scenario sweeps into cache hits.
+
+    ``seeded`` declares whether the build draws any randomness from the
+    seed.  A centralised protectionless build with jitter disabled is a
+    pure function of the topology and parameters, so the seed leaves
+    the key and a cold 30-seed sweep logs 1 miss + 29 hits instead of
+    30 misses; every seeded build (jittered priorities, SLP tie-breaks,
+    distributed message timing) keeps the seed in the key.
+
+    ``jitter`` is itself a key component for centralised builds: the
+    same seed produces different schedules with jitter on vs off (an
+    SLP build keeps its seeded phase 2/3 tie-breaks either way but
+    starts from a different Phase 1 baseline), so the two must never
+    share an entry.  Distributed builds ignore the flag, and their key
+    ignores it too.
     """
     slp = algorithm != "protectionless"
     return (
         fingerprint,
         algorithm,
-        seed,
+        seed if seeded else None,
         (topology.source if topology.has_source else None) if slp else None,
         search_distance if slp else None,
         use_distributed,
+        jitter if not use_distributed else None,
         repr(parameters),
         repr(noise) if use_distributed else None,
     )
@@ -166,6 +183,31 @@ _ENABLED = True
 def default_schedule_cache() -> ScheduleCache:
     """This process's shared schedule cache."""
     return _DEFAULT_CACHE
+
+
+def default_cache() -> ScheduleCache:
+    """Public accessor for the process-default cache.
+
+    Alias of :func:`default_schedule_cache`, kept as the short public
+    name so tooling never reaches for the private module state:
+    ``default_cache().stats()`` for the counters,
+    ``default_cache().summary()`` for the CLI one-liner.
+    """
+    return _DEFAULT_CACHE
+
+
+def default_cache_stats() -> Dict[str, int]:
+    """Counter snapshot of the process-default cache (hits/misses/size)."""
+    return _DEFAULT_CACHE.stats()
+
+
+def reset_default_cache() -> None:
+    """Drop the process-default cache's entries and counters.
+
+    For test isolation and long-lived tooling sessions; sweeps never
+    need it (the LRU bound caps retention).
+    """
+    _DEFAULT_CACHE.clear()
 
 
 def schedule_cache_enabled() -> bool:

@@ -136,8 +136,9 @@ class ScenarioRunner:
         Bypass that fallback and honour ``workers`` verbatim (the CLI's
         ``--force-parallel``).
     kernel:
-        Operational kernel override (``"fast"``/``"legacy"``/``None``
-        for the engine default); bit-identical either way.
+        Operational kernel override (``"fast"``/``"fast-object"``/
+        ``"legacy"``/``None`` for the engine default); bit-identical
+        whichever is chosen.
     use_schedule_cache:
         Whether sweeps may reuse memoised schedules (identical either
         way); ``False`` is the CLI's ``--no-schedule-cache``.

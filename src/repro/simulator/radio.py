@@ -100,6 +100,9 @@ class RadioMedium:
         self._collision_window = collision_window
         self._receivers: Dict[NodeId, Callable[[NodeId, Any, float], None]] = {}
         self._eavesdroppers: List[Eavesdropper] = []
+        #: bumped on every attach/detach; fan-out consumers (the
+        #: operational fast lane) rebuild their tables when it moves.
+        self._epoch = 0
         #: receiver → time of last arrival, for the collision window.
         self._last_arrival: Dict[NodeId, float] = {}
         #: sender → (fan-out list, receiver-id tuple); invalidated on
@@ -130,6 +133,24 @@ class RadioMedium:
         """Fixed sender→receiver latency applied to every delivery."""
         return self._propagation_delay
 
+    @property
+    def collision_window(self) -> float:
+        """The concurrent-arrival destruction window (0 = disabled)."""
+        return self._collision_window
+
+    @property
+    def epoch(self) -> int:
+        """Attachment-state version: changes whenever a node attaches to
+        or detaches from the medium.  Consumers holding compiled fan-out
+        tables (the operational fast lane) compare epochs to know when
+        to rebuild."""
+        return self._epoch
+
+    @property
+    def eavesdroppers(self) -> Tuple[Eavesdropper, ...]:
+        """The currently attached eavesdroppers."""
+        return tuple(self._eavesdroppers)
+
     # ------------------------------------------------------------------
     # Attachment
     # ------------------------------------------------------------------
@@ -139,11 +160,13 @@ class RadioMedium:
         """Register the delivery callback for ``node``'s channel."""
         self._receivers[node] = on_deliver
         self._fanout_cache.clear()
+        self._epoch += 1
 
     def detach(self, node: NodeId) -> None:
         """Remove ``node`` from the medium (e.g. node failure injection)."""
         self._receivers.pop(node, None)
         self._fanout_cache.clear()
+        self._epoch += 1
 
     def attach_eavesdropper(self, eavesdropper: Eavesdropper) -> None:
         """Let ``eavesdropper`` overhear transmissions near its location."""
@@ -175,6 +198,20 @@ class RadioMedium:
             audible = frozenset(self._topology.neighbours(sender)) | {sender}
             self._audible_cache[sender] = audible
         return audible
+
+    def fanout(self, sender: NodeId) -> Tuple[_Fanout, Tuple[NodeId, ...]]:
+        """The current ``(fan-out, receiver ids)`` of ``sender``.
+
+        The fan-out pairs each attached neighbour with its delivery
+        callback; the id tuple is exactly what :meth:`transmit` feeds
+        :meth:`NoiseModel.delivers_block`.  Valid until :attr:`epoch`
+        moves (a node attached or detached)."""
+        return self._fanout_of(sender)
+
+    def audible_set(self, sender: NodeId) -> FrozenSet[NodeId]:
+        """``{sender} ∪ neighbours(sender)``: where ``sender`` is audible.
+        Topology-derived and immutable for the run."""
+        return self._audible_of(sender)
 
     def broadcast(self, sender: NodeId, message: Any) -> None:
         """Transmit ``message`` from ``sender`` to all nodes in range.

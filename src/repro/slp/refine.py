@@ -117,6 +117,20 @@ def _cascade_and_collisions(
     """
     repairs = 0
     sink = topology.sink
+    # Hoisted per-fixpoint tables (see das.centralized._repair): the
+    # parent map and tie-break keys never change while slots move, and
+    # ``tuple()`` of the cached frozenset keeps the collision pairs in
+    # exactly the iteration order the tie-breaks were computed under.
+    nodes = [n for n in topology.nodes if n != sink]
+    parent_of = {n: schedule.parent_of(n) for n in nodes}
+    parented = [n for n in nodes if parent_of[n] is not None]
+    collision_pairs = {
+        n: tuple(
+            m for m in topology.collision_neighbourhood(n) if m != sink and m > n
+        )
+        for n in nodes
+    }
+    hop = {n: topology.sink_distance(n) for n in topology.nodes}
     changed = True
     guard = 20 * topology.num_nodes
     while changed:
@@ -124,26 +138,16 @@ def _cascade_and_collisions(
             raise ProtocolError("update cascade did not converge")
         guard -= 1
         changed = False
-        for n in topology.nodes:
-            if n == sink:
-                continue
-            parent = schedule.parent_of(n)
-            if parent is None:
-                continue
-            if slots[n] >= slots[parent]:
-                slots[n] = slots[parent] - 1
+        for n in parented:
+            parent_slot = slots[parent_of[n]]
+            if slots[n] >= parent_slot:
+                slots[n] = parent_slot - 1
                 repairs += 1
                 changed = True
-        for n in sorted(topology.nodes):
-            if n == sink:
-                continue
-            for m in topology.collision_neighbourhood(n):
-                if m == sink or m <= n:
-                    continue
+        for n in nodes:
+            for m in collision_pairs[n]:
                 if slots[n] == slots[m]:
-                    hop_n = topology.sink_distance(n)
-                    hop_m = topology.sink_distance(m)
-                    loser = m if (hop_m, m) > (hop_n, n) else n
+                    loser = m if (hop[m], m) > (hop[n], n) else n
                     slots[loser] -= 1
                     repairs += 1
                     changed = True

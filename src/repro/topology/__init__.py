@@ -11,7 +11,7 @@ from .line import LineTopology
 from .node import Coordinate, NodeId, Placement
 from .random_geometric import random_geometric_topology
 from .ring import RingTopology
-from .topology import Topology
+from .topology import Topology, TopologyMetrics
 
 __all__ = [
     "Coordinate",
@@ -23,6 +23,7 @@ __all__ = [
     "Placement",
     "RingTopology",
     "Topology",
+    "TopologyMetrics",
     "paper_grid",
     "random_geometric_topology",
 ]

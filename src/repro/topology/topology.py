@@ -25,6 +25,98 @@ from ..errors import TopologyError
 from .node import Coordinate, NodeId
 
 
+class TopologyMetrics:
+    """Array-backed distance/structure metrics for one topology.
+
+    Built lazily, in one pass, from a single BFS over an int-indexed
+    adjacency structure — the "compiled tables" counterpart of the
+    per-call :mod:`networkx` queries the algorithms used to issue.
+    Nodes are mapped to dense indices (sorted order) once; every metric
+    is then a plain list indexed by node index:
+
+    * ``sink_row[i]`` — hop distance from node ``order[i]`` to the sink;
+    * ``spc[i]`` — the node's shortest-path children (neighbours one hop
+      closer to the sink), precomputed for all nodes in one sweep;
+    * :meth:`distance_row` — a BFS row from an arbitrary root, cached
+      per root (this is what turns :meth:`Topology.hop_distance` from
+      one networkx shortest-path call *per query* into one BFS *per
+      root*).
+
+    The structure is derived state: :meth:`Topology.__getstate__`
+    excludes it from pickle exactly like the other caches, so worker
+    processes rebuild it deterministically from the graph.
+    """
+
+    __slots__ = ("order", "index", "adj", "neighbour_ids", "sink_row", "spc", "_rows")
+
+    def __init__(self, graph: nx.Graph, sink: NodeId) -> None:
+        self.order: Tuple[NodeId, ...] = tuple(sorted(graph.nodes))
+        index = {node: i for i, node in enumerate(self.order)}
+        self.index: Dict[NodeId, int] = index
+        #: int-indexed adjacency (sorted neighbour order, as indices).
+        self.adj: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(index[m] for m in sorted(graph.neighbors(node)))
+            for node in self.order
+        )
+        #: the same adjacency as NodeId tuples (shared with neighbours()).
+        self.neighbour_ids: Tuple[Tuple[NodeId, ...], ...] = tuple(
+            tuple(self.order[j] for j in row) for row in self.adj
+        )
+        self.sink_row: List[int] = self._bfs(index[sink])
+        sink_row = self.sink_row
+        order = self.order
+        #: shortest-path children per node, computed in one sweep.
+        self.spc: Tuple[Tuple[NodeId, ...], ...] = tuple(
+            tuple(
+                order[j] for j in self.adj[i] if sink_row[j] == sink_row[i] - 1
+            )
+            for i in range(len(order))
+        )
+        #: per-root BFS rows for hop_distance, cached on demand.
+        self._rows: Dict[int, List[int]] = {index[sink]: sink_row}
+
+    def _bfs(self, root: int) -> List[int]:
+        """One-shot BFS from ``root`` over the int-indexed adjacency."""
+        adj = self.adj
+        dist = [-1] * len(adj)
+        dist[root] = 0
+        frontier = [root]
+        depth = 0
+        while frontier:
+            depth += 1
+            nxt: List[int] = []
+            for i in frontier:
+                for j in adj[i]:
+                    if dist[j] < 0:
+                        dist[j] = depth
+                        nxt.append(j)
+            frontier = nxt
+        return dist
+
+    def distance_row(self, root: int) -> List[int]:
+        """The BFS distance row from node index ``root`` (cached)."""
+        row = self._rows.get(root)
+        if row is None:
+            row = self._bfs(root)
+            self._rows[root] = row
+        return row
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance between node indices ``a`` and ``b``.
+
+        Distances are symmetric, so a row already cached for either
+        endpoint answers the query; only when neither is cached does a
+        new BFS run (rooted at ``a``).
+        """
+        row = self._rows.get(a)
+        if row is not None:
+            return row[b]
+        row = self._rows.get(b)
+        if row is not None:
+            return row[a]
+        return self.distance_row(a)[b]
+
+
 class Topology:
     """An immutable WSN topology with designated source and sink.
 
@@ -76,27 +168,37 @@ class Topology:
 
         # Derived caches, computed lazily.
         self._two_hop: Dict[NodeId, FrozenSet[NodeId]] = {}
-        self._sink_distance: Optional[Dict[NodeId, int]] = None
+        self._metrics: Optional[TopologyMetrics] = None
         self._neighbour_cache: Dict[NodeId, Tuple[NodeId, ...]] = {}
 
     def __getstate__(self) -> Dict[str, object]:
         """Pickle without the derived caches.
 
-        The caches are rebuilt deterministically on demand, and excluding
-        them matters for more than size: pickling a ``frozenset`` does
-        not preserve its internal layout, so its *iteration order* can
-        change across a round-trip.  Algorithms that iterate 2-hop sets
-        (e.g. the schedule repair fixpoint's tie-breaks) would then
-        diverge between an in-process topology and one shipped to a
-        worker process.  A worker that rebuilds the caches from scratch
-        constructs them exactly as the parent did, keeping parallel seed
-        sweeps bit-identical to serial ones.
+        The caches (2-hop sets, neighbour tuples, the array-backed
+        :class:`TopologyMetrics`) are rebuilt deterministically on
+        demand, and excluding them matters for more than size: pickling
+        a ``frozenset`` does not preserve its internal layout, so its
+        *iteration order* can change across a round-trip.  Algorithms
+        that iterate 2-hop sets (e.g. the schedule repair fixpoint's
+        tie-breaks) would then diverge between an in-process topology
+        and one shipped to a worker process.  A worker that rebuilds the
+        caches from scratch constructs them exactly as the parent did,
+        keeping parallel seed sweeps bit-identical to serial ones.
         """
         state = self.__dict__.copy()
         state["_two_hop"] = {}
-        state["_sink_distance"] = None
+        state["_metrics"] = None
         state["_neighbour_cache"] = {}
         return state
+
+    @property
+    def metrics(self) -> TopologyMetrics:
+        """The array-backed metric tables (built on first use)."""
+        metrics = self._metrics
+        if metrics is None:
+            metrics = TopologyMetrics(self._graph, self._sink)
+            self._metrics = metrics
+        return metrics
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -182,7 +284,8 @@ class Topology:
         if cached is not None:
             return cached
         self._require_node(node)
-        result = tuple(sorted(self._graph.neighbors(node)))
+        metrics = self.metrics
+        result = metrics.neighbour_ids[metrics.index[node]]
         self._neighbour_cache[node] = result
         return result
 
@@ -224,24 +327,34 @@ class Topology:
 
         Used pervasively: the DAS definitions (Defs. 2–3) constrain the
         slots of neighbours *closer to the sink*, and the Phase 1 protocol
-        tracks every node's ``hop`` value.
+        tracks every node's ``hop`` value.  Backed by the one-shot BFS
+        row of :class:`TopologyMetrics`.
         """
-        if self._sink_distance is None:
-            self._sink_distance = dict(
-                nx.single_source_shortest_path_length(self._graph, self._sink)
-            )
-        self._require_node(node)
-        return self._sink_distance[node]
+        metrics = self.metrics
+        index = metrics.index.get(node)
+        if index is None:
+            self._require_node(node)
+        return metrics.sink_row[index]
 
     def source_sink_distance(self) -> int:
         """Hop distance ``Δss`` between the designated source and the sink."""
         return self.sink_distance(self.source)
 
     def hop_distance(self, a: NodeId, b: NodeId) -> int:
-        """Hop distance between two arbitrary nodes."""
-        self._require_node(a)
-        self._require_node(b)
-        return nx.shortest_path_length(self._graph, a, b)
+        """Hop distance between two arbitrary nodes.
+
+        One BFS per distinct root, cached (distances are symmetric, so
+        a row cached for either endpoint answers the query).
+        """
+        metrics = self.metrics
+        index = metrics.index
+        ia = index.get(a)
+        ib = index.get(b)
+        if ia is None:
+            self._require_node(a)
+        if ib is None:
+            self._require_node(b)
+        return metrics.distance(ia, ib)
 
     def diameter(self) -> int:
         """Graph diameter in hops (longest shortest path)."""
@@ -252,11 +365,15 @@ class Topology:
 
         These are the neighbours ``m`` for which ``n·m···S`` is a shortest
         path — exactly the set quantified over in Def. 2 condition 3.
+        Precomputed for every node in one sweep by
+        :class:`TopologyMetrics` (the schedule repair fixpoint queries
+        this per node per pass).
         """
-        d = self.sink_distance(node)
-        return tuple(
-            m for m in self.neighbours(node) if self.sink_distance(m) == d - 1
-        )
+        metrics = self.metrics
+        index = metrics.index.get(node)
+        if index is None:
+            self._require_node(node)
+        return metrics.spc[index]
 
     def shortest_paths_to_sink(self, node: NodeId) -> List[List[NodeId]]:
         """All shortest paths from ``node`` to the sink."""
@@ -265,10 +382,12 @@ class Topology:
 
     def bfs_layers(self) -> List[List[NodeId]]:
         """Nodes grouped by hop distance from the sink (layer 0 = sink)."""
+        metrics = self.metrics
         layers: Dict[int, List[NodeId]] = {}
-        for node in self.nodes:
-            layers.setdefault(self.sink_distance(node), []).append(node)
-        return [sorted(layers[d]) for d in sorted(layers)]
+        for index, node in enumerate(metrics.order):
+            layers.setdefault(metrics.sink_row[index], []).append(node)
+        # metrics.order is sorted, so each layer is already sorted.
+        return [layers[d] for d in sorted(layers)]
 
     # ------------------------------------------------------------------
     # Geometry

@@ -51,7 +51,20 @@ class TestBenchQuickMode:
     def test_all_quick_workloads_present(self, bench_output):
         _, out = bench_output
         workloads = json.loads(out.read_text())["workloads"]
-        assert set(workloads) == {"sweep11", "das_setup", "trace_heavy", "scenario"}
+        assert set(workloads) == {
+            "sweep11",
+            "setup7",
+            "das_setup",
+            "trace_heavy",
+            "scenario",
+        }
+
+    def test_setup_workload_reports_cold_builds(self, bench_output):
+        _, out = bench_output
+        setup = json.loads(out.read_text())["workloads"]["setup7"]
+        assert setup["grid"] == "7x7"
+        assert setup["builds"] == 8  # 4 seeds × (protectionless + slp)
+        assert setup["builds_per_second"] > 0
 
     def test_sweep_identity_checks_pass(self, bench_output):
         _, out = bench_output
@@ -170,6 +183,53 @@ class TestRegressionGate:
         assert second.name.endswith("b.json")
 
 
+class TestArtifactsPreservation:
+    """The benchmark suite's session-start reset must not clobber the
+    ``--profile`` cProfile tables other tooling appended to the shared
+    ``benchmark_artifacts.txt``."""
+
+    @pytest.fixture(scope="class")
+    def bench_conftest(self):
+        path = SCRIPT.parent.parent / "benchmarks" / "conftest.py"
+        spec = importlib.util.spec_from_file_location("bench_conftest", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _section(title: str, body: str) -> str:
+        bar = "=" * 64
+        return f"\n{bar}\n{title}\n{bar}\n{body}\n"
+
+    def test_profile_sections_survive_reset(self, bench_conftest):
+        text = (
+            self._section("Ablation: attacker strength", "table rows")
+            + self._section(
+                "cProfile hotspots (2026-07-26, full suite, workers=4)",
+                "---- workload: sweep15 ----\nncalls tottime",
+            )
+            + self._section("Figure 5a", "more rows")
+        )
+        kept = bench_conftest._preserved_sections(text)
+        assert "cProfile hotspots" in kept
+        assert "workload: sweep15" in kept
+        assert "Ablation" not in kept
+        assert "Figure 5a" not in kept
+
+    def test_empty_or_profile_free_file_resets_clean(self, bench_conftest):
+        assert bench_conftest._preserved_sections("") == ""
+        only_tables = self._section("Ablation: link loss", "rows")
+        assert bench_conftest._preserved_sections(only_tables) == ""
+
+    def test_preservation_is_idempotent(self, bench_conftest):
+        profile = self._section(
+            "cProfile hotspots (2026-07-26, quick suite, workers=2)",
+            "---- workload: sweep11 ----",
+        )
+        once = bench_conftest._preserved_sections(profile)
+        assert bench_conftest._preserved_sections(once) == once
+
+
 class TestProfileMode:
     def test_profile_writes_hotspot_tables(self, bench, tmp_path, monkeypatch):
         artifacts = tmp_path / "benchmark_artifacts.txt"
@@ -184,6 +244,28 @@ class TestProfileMode:
         assert "cProfile hotspots" in text
         assert "workload: toy" in text
         assert "cumulative" in text
+
+    def test_profile_replaces_stale_tables_keeps_other_sections(
+        self, bench, tmp_path, monkeypatch
+    ):
+        """Repeated --profile runs must not accumulate hotspot sections
+        in the tracked artifact file, and must leave the benchmark
+        suite's own sections untouched."""
+        artifacts = tmp_path / "benchmark_artifacts.txt"
+        bar = "=" * 64
+        table = f"\n{bar}\nAblation: link loss\n{bar}\nrows\n"
+        artifacts.write_text(table)
+        monkeypatch.setattr(bench, "ARTIFACTS", artifacts)
+        monkeypatch.setattr(
+            bench,
+            "workload_plan",
+            lambda workers, quick: [("toy", lambda: {"seconds": 0.0})],
+        )
+        assert bench.main(["--quick", "--profile"]) == 0
+        assert bench.main(["--quick", "--profile"]) == 0
+        text = artifacts.read_text()
+        assert text.count("cProfile hotspots") == 1
+        assert "Ablation: link loss" in text
 
     def test_profile_reports_identity_failures(self, bench, tmp_path, monkeypatch):
         monkeypatch.setattr(bench, "ARTIFACTS", tmp_path / "a.txt")

@@ -1,12 +1,13 @@
 """Differential tests for the operational-phase fast kernel.
 
-The contract: the fast kernel is *bit-identical* to the legacy
-event-heap engine — same :class:`OperationalResult`, same trace
-counters, same retained records, same RNG consumption — for every
-workload the repository can express.  Every registered scenario is
-driven through both kernels here; the serial/parallel identity of the
-fast kernel is additionally covered by ``tests/test_scenarios.py``
-(the fast kernel is the default, so those sweeps already exercise it).
+The contract: the fast kernel — with or without its table-driven
+message-path fast lane — is *bit-identical* to the legacy event-heap
+engine: same :class:`OperationalResult`, same trace counters, same
+retained records, same RNG consumption, for every workload the
+repository can express.  Every registered scenario is driven through
+all three kernels here; the serial/parallel identity of the fast
+kernel is additionally covered by ``tests/test_scenarios.py`` (the
+fast kernel is the default, so those sweeps already exercise it).
 """
 
 from __future__ import annotations
@@ -18,8 +19,15 @@ import pytest
 from repro.app import (
     FAST_KERNEL,
     LEGACY_KERNEL,
+    OBJECT_KERNEL,
+    ConvergecastNodeProcess,
+    DutyCycle,
+    NodeDeath,
+    NodeSleep,
+    SourcePlan,
     build_slot_timeline,
     fast_kernel_supported,
+    fast_lane_compilable,
     run_operational_phase,
 )
 from repro.das import centralized_das_schedule
@@ -30,14 +38,17 @@ from repro.scenarios import ScenarioRunner, get_scenario, scenario_names
 from repro.simulator import CasinoLabNoise
 
 #: Seeds per scenario for the differential sweep (kept small: the suite
-#: runs every registered scenario through both kernels).
+#: runs every registered scenario through all kernels).
 DIFF_SEEDS = 2
 
+#: Kernel order for differentials: the reference engine first.
+ALL_KERNELS = (LEGACY_KERNEL, OBJECT_KERNEL, FAST_KERNEL)
 
-def _run_both(topology, schedule, *, seed, trace_kinds="default", **kwargs):
+
+def _run_all(topology, schedule, *, seed, trace_kinds="default", **kwargs):
     """One run per kernel, returning (results, trace recorders)."""
     outcomes, traces = [], []
-    for kernel in (LEGACY_KERNEL, FAST_KERNEL):
+    for kernel in ALL_KERNELS:
         out: list = []
         extra = {} if trace_kinds == "default" else {"trace_kinds": trace_kinds}
         outcomes.append(
@@ -55,10 +66,19 @@ def _run_both(topology, schedule, *, seed, trace_kinds="default", **kwargs):
     return outcomes, traces
 
 
+def _assert_identical(outcomes, traces):
+    """Every kernel's result and trace counters must match the legacy's."""
+    legacy, legacy_trace = outcomes[0], traces[0]
+    for outcome, trace in zip(outcomes[1:], traces[1:]):
+        assert outcome == legacy
+        assert trace.counts() == legacy_trace.counts()
+
+
 class TestKernelEquivalence:
     @pytest.mark.parametrize("name", sorted(scenario_names()))
     def test_every_registered_scenario_is_bit_identical(self, name):
-        """Results AND trace counters agree, per scenario, per seed."""
+        """Results AND trace counters agree, per scenario, per seed,
+        across legacy / fast-object / fast (table lane) kernels."""
         spec = get_scenario(name)
         topology = spec.build_topology()
         config = spec.to_config(repeats=DIFF_SEEDS)
@@ -66,7 +86,7 @@ class TestKernelEquivalence:
         for i in range(DIFF_SEEDS):
             seed = config.base_seed + i
             schedule = runner.build_schedule(config, seed)
-            (legacy, fast), (legacy_trace, fast_trace) = _run_both(
+            outcomes, traces = _run_all(
                 topology,
                 schedule,
                 seed=seed,
@@ -78,21 +98,23 @@ class TestKernelEquivalence:
                 source_plan=config.source_plan,
                 perturbations=config.perturbations,
             )
-            assert legacy == fast
-            assert legacy_trace.counts() == fast_trace.counts()
+            _assert_identical(outcomes, traces)
 
     def test_full_trace_records_are_identical(self, grid7):
-        """With every kind retained, the record streams match too."""
+        """With every kind retained, the record streams match too (the
+        fast lane declines retained per-message traces and the object
+        path must reproduce the exact record stream)."""
         schedule = centralized_das_schedule(grid7, seed=3)
-        (legacy, fast), (legacy_trace, fast_trace) = _run_both(
+        outcomes, traces = _run_all(
             grid7,
             schedule,
             seed=3,
             noise=CasinoLabNoise(),
             trace_kinds=None,
         )
-        assert legacy == fast
-        assert legacy_trace.records == fast_trace.records
+        _assert_identical(outcomes, traces)
+        for trace in traces[1:]:
+            assert trace.records == traces[0].records
 
     def test_scenario_sweeps_identical_serial_and_parallel(self):
         """ScenarioRunner reports are byte-identical across kernels,
@@ -110,6 +132,185 @@ class TestKernelEquivalence:
         assert legacy.to_json() == fast_parallel.to_json()
 
 
+class TestFastLaneDynamics:
+    """The fast lane × workload-dynamics interplay: perturbations must
+    invalidate/patch the forwarding tables mid-run and stay bit-identical
+    to the object path and the legacy heap."""
+
+    def _grid_nodes(self, topology):
+        """A few perturbable nodes (not sink, not source)."""
+        excluded = {topology.sink, topology.source}
+        return [n for n in topology.nodes if n not in excluded]
+
+    def test_node_death_is_bit_identical(self, grid7):
+        schedule = centralized_das_schedule(grid7, seed=5)
+        victims = tuple(self._grid_nodes(grid7)[3:7])
+        for seed in range(DIFF_SEEDS):
+            outcomes, traces = _run_all(
+                grid7,
+                schedule,
+                seed=seed,
+                noise=CasinoLabNoise(),
+                perturbations=(NodeDeath(period=2, nodes=victims),),
+            )
+            _assert_identical(outcomes, traces)
+            # The perturbation really engaged: dead nodes stop sending.
+            healthy = run_operational_phase(
+                grid7, schedule, seed=seed, noise=CasinoLabNoise()
+            )
+            if outcomes[0].periods_run == healthy.periods_run:
+                assert outcomes[0].messages_sent < healthy.messages_sent
+
+    def test_sleep_and_duty_cycle_rebuild_tables(self, grid7):
+        """Sleep/wake and recurring duty cycles flip radio attachment
+        (and therefore the compiled fan-out tables) repeatedly."""
+        schedule = centralized_das_schedule(grid7, seed=8)
+        nodes = self._grid_nodes(grid7)
+        perturbations = (
+            NodeSleep(period=1, wake_period=3, nodes=(nodes[0], nodes[1])),
+            DutyCycle(nodes=(nodes[5], nodes[6]), cycle_length=3, sleep_for=1),
+        )
+        for seed in range(DIFF_SEEDS):
+            outcomes, traces = _run_all(
+                grid7,
+                schedule,
+                seed=seed,
+                noise=CasinoLabNoise(),
+                perturbations=perturbations,
+            )
+            _assert_identical(outcomes, traces)
+
+    def test_mobile_source_rotation_capture_is_bit_identical(self, grid7):
+        """A rotating source can capture by walking onto the attacker
+        (a period-boundary capture with buffered state to sync)."""
+        schedule = centralized_das_schedule(grid7, seed=2)
+        pool = tuple(self._grid_nodes(grid7)[:3])
+        for seed in range(DIFF_SEEDS):
+            outcomes, traces = _run_all(
+                grid7,
+                schedule,
+                seed=seed,
+                noise=CasinoLabNoise(),
+                source_plan=SourcePlan(nodes=pool, rotation_period=2),
+            )
+            _assert_identical(outcomes, traces)
+
+    def test_mid_period_capture_is_bit_identical(self, grid7):
+        """Seeds where the attacker wins mid-period: the lane must stop
+        after the capturing transmission with the group's buffered
+        deliveries discarded, exactly like the heap."""
+        schedule = centralized_das_schedule(grid7, seed=0)
+        captured = 0
+        for seed in range(12):
+            outcomes, traces = _run_all(
+                grid7, schedule, seed=seed, noise=CasinoLabNoise()
+            )
+            _assert_identical(outcomes, traces)
+            captured += outcomes[0].captured
+        assert captured > 0  # the differential covered real captures
+
+
+class TestFastLaneCompilability:
+    def _setup(self, topology, schedule, **kwargs):
+        """A simulator + processes + agent mirroring the runtime wiring,
+        for direct compile-gate checks."""
+        from repro.app.dynamics import SourceTracker
+        from repro.attacker import EavesdropperAgent, paper_attacker
+        from repro.simulator import Simulator
+
+        compressed = schedule.compressed()
+        sim = Simulator(topology, seed=0, trace_kinds=kwargs.get("trace_kinds"))
+        processes = {}
+        for node in topology.nodes:
+            is_sink = node == topology.sink
+            cls = kwargs.get("process_cls", ConvergecastNodeProcess)
+            proc = cls(
+                node,
+                slot=None if is_sink else compressed.slot_of(node),
+                parent=compressed.parent_of(node),
+                is_sink=is_sink,
+                is_source=node == topology.source,
+                children=set(compressed.children_of(node)),
+            )
+            processes[node] = proc
+            sim.register_process(proc)
+        tracker = SourceTracker(SourcePlan.single(topology.source))
+        agent = EavesdropperAgent(
+            sim,
+            paper_attacker(),
+            start=topology.sink,
+            source=topology.source,
+            slot_lookup=compressed.slot_of,
+            capture_test=tracker.is_source,
+        )
+        sim.radio.attach_eavesdropper(agent)
+        timeline = build_slot_timeline(TdmaFrame(), processes)
+        return sim, processes, agent, timeline
+
+    def test_standard_run_is_compilable(self, grid5, grid5_schedule):
+        from repro.app import OPERATIONAL_TRACE_KINDS
+
+        sim, processes, agent, timeline = self._setup(
+            grid5, grid5_schedule, trace_kinds=OPERATIONAL_TRACE_KINDS
+        )
+        assert fast_lane_compilable(sim, processes, agent, timeline)
+
+    def test_retained_message_trace_is_not_compilable(self, grid5, grid5_schedule):
+        sim, processes, agent, timeline = self._setup(
+            grid5, grid5_schedule, trace_kinds=None
+        )
+        assert not fast_lane_compilable(sim, processes, agent, timeline)
+
+    def test_process_subclass_is_not_compilable(self, grid5, grid5_schedule):
+        from repro.app import OPERATIONAL_TRACE_KINDS
+
+        class CustomProcess(ConvergecastNodeProcess):
+            pass
+
+        sim, processes, agent, timeline = self._setup(
+            grid5,
+            grid5_schedule,
+            trace_kinds=OPERATIONAL_TRACE_KINDS,
+            process_cls=CustomProcess,
+        )
+        assert not fast_lane_compilable(sim, processes, agent, timeline)
+
+    def test_audible_slot_sharing_is_not_compilable(self, grid5, grid5_schedule):
+        """Two adjacent senders in one slot group (impossible under
+        Def. 1, but expressible via a hand-built schedule) must force
+        the object path: live-set delivery would skip the emit-time
+        snapshot the legacy semantics require."""
+        from repro.app import OPERATIONAL_TRACE_KINDS
+
+        slots = grid5_schedule.slots()
+        a = grid5.sink
+        neighbours = [n for n in grid5.neighbours(a) if n != grid5.sink]
+        n1 = neighbours[0]
+        n2 = [m for m in grid5.neighbours(n1) if m not in (a, grid5.sink)][0]
+        slots[n2] = slots[n1]  # adjacent nodes, same slot
+        shared = grid5_schedule.with_slots(slots)
+        sim, processes, agent, timeline = self._setup(
+            grid5, shared, trace_kinds=OPERATIONAL_TRACE_KINDS
+        )
+        assert not fast_lane_compilable(sim, processes, agent, timeline)
+
+    def test_default_run_uses_the_table_lane(self, grid5, grid5_schedule, monkeypatch):
+        """The default kernel actually engages the lane (not a silent
+        permanent fallback)."""
+        import repro.app.fast_kernel as fk
+
+        calls = []
+        real = fk._run_table_lane
+
+        def spy(*args, **kwargs):
+            calls.append(True)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(fk, "_run_table_lane", spy)
+        run_operational_phase(grid5, grid5_schedule, seed=0)
+        assert calls
+
+
 class TestKernelSelection:
     def test_invalid_kernel_rejected(self, grid5, grid5_schedule):
         with pytest.raises(ConfigurationError, match="kernel"):
@@ -120,13 +321,14 @@ class TestKernelSelection:
         engine; the outcome still matches an explicit legacy run."""
         frame = TdmaFrame(num_slots=200, slot_duration=5e-5)
         assert not fast_kernel_supported(frame, 1e-4)
-        fast = run_operational_phase(
-            grid5, grid5_schedule, seed=1, frame=frame, kernel=FAST_KERNEL
-        )
         legacy = run_operational_phase(
             grid5, grid5_schedule, seed=1, frame=frame, kernel=LEGACY_KERNEL
         )
-        assert fast == legacy
+        for kernel in (FAST_KERNEL, OBJECT_KERNEL):
+            fast = run_operational_phase(
+                grid5, grid5_schedule, seed=1, frame=frame, kernel=kernel
+            )
+            assert fast == legacy
 
     def test_supported_for_paper_frame(self):
         assert fast_kernel_supported(TdmaFrame(), 1e-4)
@@ -141,14 +343,14 @@ class TestKernelSelection:
         )
         schedule = centralized_das_schedule(grid7, num_slots=50, seed=0)
         for seed in range(3):
-            (legacy, fast), _ = _run_both(
+            outcomes, traces = _run_all(
                 grid7,
                 schedule,
                 seed=seed,
                 noise=CasinoLabNoise(),
                 frame=frame,
             )
-            assert legacy == fast
+            _assert_identical(outcomes, traces)
 
 
 class TestSlotTimeline:

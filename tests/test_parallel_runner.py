@@ -211,7 +211,7 @@ class TestTopologyPickleDeterminism:
         clone = pickle.loads(pickle.dumps(grid5))
         assert clone._two_hop == {}
         assert clone._neighbour_cache == {}
-        assert clone._sink_distance is None
+        assert clone._metrics is None
         # ... and the clone still answers queries correctly.
         assert clone.collision_neighbourhood(0) == grid5.collision_neighbourhood(0)
 

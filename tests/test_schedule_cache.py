@@ -19,7 +19,10 @@ from repro.experiments import (
     ExperimentRunner,
     ScheduleCache,
     configure_schedule_cache,
+    default_cache,
+    default_cache_stats,
     default_schedule_cache,
+    reset_default_cache,
     schedule_cache_enabled,
     schedule_key,
     topology_fingerprint,
@@ -37,6 +40,8 @@ def _key(topology, config, seed):
         config.use_distributed,
         config.parameters,
         config.noise,
+        seeded=config.seeded_schedule,
+        jitter=config.schedule_jitter,
     )
 
 
@@ -101,6 +106,46 @@ class TestScheduleKey:
         ideal_d = ExperimentConfig(repeats=1, noise="ideal", use_distributed=True)
         assert _key(grid5, casino_d, 0) != _key(grid5, ideal_d, 0)
         assert _key(grid5, casino, 0) != _key(grid5, casino_d, 0)
+
+    def test_unseeded_builds_drop_the_seed_from_the_key(self, grid5):
+        """A jitter-free centralised protectionless build is a pure
+        function of the topology: every seed maps to one key."""
+        canonical = ExperimentConfig(repeats=1, schedule_jitter=False)
+        assert not canonical.seeded_schedule
+        assert _key(grid5, canonical, 0) == _key(grid5, canonical, 29)
+        # Any source of randomness keeps the seed in the key.
+        jittered = ExperimentConfig(repeats=1)
+        assert _key(grid5, jittered, 0) != _key(grid5, jittered, 1)
+        slp = ExperimentConfig(
+            algorithm="slp", repeats=1, schedule_jitter=False
+        )
+        assert slp.seeded_schedule
+        assert _key(grid5, slp, 0) != _key(grid5, slp, 1)
+        distributed = ExperimentConfig(
+            repeats=1, schedule_jitter=False, use_distributed=True
+        )
+        assert distributed.seeded_schedule
+
+    def test_jitter_flag_is_a_key_component(self, grid5):
+        """Same seed, jitter on vs off, must never share a cache entry:
+        the builds differ (SLP keeps its seed either way but starts
+        from a different Phase 1 baseline, and a jittered seeded
+        protectionless build differs from the canonical one)."""
+        for algorithm in ("protectionless", "slp"):
+            jittered = ExperimentConfig(algorithm=algorithm, repeats=1)
+            canonical = ExperimentConfig(
+                algorithm=algorithm, repeats=1, schedule_jitter=False
+            )
+            assert _key(grid5, jittered, 0) != _key(grid5, canonical, 0)
+        # ... and jitter-off sweeps actually produce different schedules
+        # than jitter-on ones through the runner (the collision the key
+        # component prevents).
+        runner = ExperimentRunner(grid5, schedule_cache=ScheduleCache())
+        jittered = runner.build_schedule(ExperimentConfig(repeats=1), 0)
+        canonical = runner.build_schedule(
+            ExperimentConfig(repeats=1, schedule_jitter=False), 0
+        )
+        assert jittered.slots() != canonical.slots()
 
 
 class TestScheduleCacheLru:
@@ -192,3 +237,71 @@ class TestRunnerIntegration:
         ExperimentRunner(mutated, schedule_cache=cache).build_schedule(cfg, 0)
         assert cache.hits == 0
         assert cache.misses == 2
+
+
+class TestUnseededBuilds:
+    """Satellite: a build that draws no randomness is cached once per
+    topology, not once per seed."""
+
+    def test_jitter_free_schedules_identical_across_seeds(self, grid5):
+        """Differential proof, cache out of the loop entirely."""
+        runner = ExperimentRunner(grid5)
+        cfg = ExperimentConfig(
+            repeats=1, schedule_jitter=False, use_schedule_cache=False
+        )
+        schedules = [runner.build_schedule(cfg, seed) for seed in range(5)]
+        assert all(s.slots() == schedules[0].slots() for s in schedules[1:])
+        assert all(
+            s.parent_of(n) == schedules[0].parent_of(n)
+            for s in schedules[1:]
+            for n in grid5.nodes
+        )
+
+    def test_cold_sweep_logs_one_miss(self, grid5):
+        cache = ScheduleCache()
+        runner = ExperimentRunner(grid5, schedule_cache=cache)
+        cfg = ExperimentConfig(repeats=1, schedule_jitter=False)
+        for seed in range(30):
+            runner.build_schedule(cfg, seed)
+        assert (cache.hits, cache.misses) == (29, 1)
+
+    def test_jittered_sweep_still_misses_per_seed(self, grid5):
+        cache = ScheduleCache()
+        runner = ExperimentRunner(grid5, schedule_cache=cache)
+        cfg = ExperimentConfig(repeats=1)
+        for seed in range(5):
+            runner.build_schedule(cfg, seed)
+        assert (cache.hits, cache.misses) == (0, 5)
+
+    def test_slp_stays_seeded_without_jitter(self, grid5):
+        """Phases 2/3 draw tie-breaks from the seed, so SLP builds keep
+        per-seed cache entries even with jitter off."""
+        cache = ScheduleCache()
+        runner = ExperimentRunner(grid5, schedule_cache=cache)
+        cfg = ExperimentConfig(
+            algorithm="slp", repeats=1, schedule_jitter=False
+        )
+        for seed in range(3):
+            runner.build_schedule(cfg, seed)
+        assert cache.misses == 3
+
+
+class TestDefaultCacheAccessors:
+    def test_default_cache_is_the_process_cache(self):
+        assert default_cache() is default_schedule_cache()
+
+    def test_default_cache_stats_snapshot(self, grid5):
+        before = default_cache_stats()
+        assert set(before) == {"hits", "misses", "size"}
+        ExperimentRunner(grid5).build_schedule(
+            ExperimentConfig(repeats=1), seed=12345
+        )
+        after = default_cache_stats()
+        assert after["hits"] + after["misses"] > before["hits"] + before["misses"]
+
+    def test_reset_default_cache(self, grid5):
+        ExperimentRunner(grid5).build_schedule(
+            ExperimentConfig(repeats=1), seed=54321
+        )
+        reset_default_cache()
+        assert default_cache_stats() == {"hits": 0, "misses": 0, "size": 0}

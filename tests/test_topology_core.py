@@ -180,3 +180,74 @@ class TestGeometry:
         positions = {0: Coordinate(0, 0), 1: Coordinate(100, 100)}
         with pytest.raises(TopologyError, match="connected"):
             Topology.from_unit_disk(positions, communication_range=5.0, sink=0)
+
+
+class TestArrayMetrics:
+    """The array-backed TopologyMetrics tables must agree with the
+    networkx queries they replaced, for every node pair."""
+
+    @pytest.fixture
+    def topo(self):
+        from repro.topology import GridTopology
+
+        return GridTopology(5, sink=12, source=0)
+
+    def test_sink_distance_matches_networkx(self, topo):
+        reference = nx.single_source_shortest_path_length(topo.graph, topo.sink)
+        for node in topo.nodes:
+            assert topo.sink_distance(node) == reference[node]
+
+    def test_hop_distance_matches_networkx_all_pairs(self, topo):
+        for a in topo.nodes:
+            for b in topo.nodes:
+                assert topo.hop_distance(a, b) == nx.shortest_path_length(
+                    topo.graph, a, b
+                )
+
+    def test_hop_distance_reuses_cached_rows_symmetrically(self, topo):
+        metrics = topo.metrics
+        cached_before = len(metrics._rows)
+        topo.hop_distance(3, 17)
+        assert len(metrics._rows) == cached_before + 1
+        # The reverse query answers from the same row: no new BFS.
+        topo.hop_distance(17, 3)
+        assert len(metrics._rows) == cached_before + 1
+
+    def test_shortest_path_children_match_definition(self, topo):
+        for node in topo.nodes:
+            expected = tuple(
+                m
+                for m in topo.neighbours(node)
+                if topo.sink_distance(m) == topo.sink_distance(node) - 1
+            )
+            assert topo.shortest_path_children(node) == expected
+
+    def test_bfs_layers_partition_by_distance(self, topo):
+        layers = topo.bfs_layers()
+        seen = []
+        for depth, layer in enumerate(layers):
+            assert layer == sorted(layer)
+            for node in layer:
+                assert topo.sink_distance(node) == depth
+            seen.extend(layer)
+        assert sorted(seen) == list(topo.nodes)
+
+    def test_unknown_node_still_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.sink_distance(999)
+        with pytest.raises(TopologyError):
+            topo.hop_distance(0, 999)
+        with pytest.raises(TopologyError):
+            topo.shortest_path_children(-1)
+
+    def test_metrics_survive_pickle_exclusion(self, topo):
+        import pickle
+
+        topo.hop_distance(0, 24)  # populate a non-sink BFS row
+        clone = pickle.loads(pickle.dumps(topo))
+        assert clone._metrics is None
+        for node in topo.nodes:
+            assert clone.sink_distance(node) == topo.sink_distance(node)
+            assert clone.shortest_path_children(
+                node
+            ) == topo.shortest_path_children(node)
