@@ -18,7 +18,13 @@ Workloads
     setup-phase half of a sweep, moved by the array-backed topology
     metrics rather than the kernel).
 ``das_setup``
-    One full message-level distributed DAS setup (Phase 1).
+    One full message-level distributed DAS setup (Phase 1), on the
+    default (flat-round) setup kernel.
+``das_dissem15``
+    Distributed dissemination throughput (messages/second) of the
+    setup-phase fast kernel on the paper's 15×15 grid, with a legacy
+    event-heap run of the same cell verifying schedule, message count
+    and trace-counter identity (the setup kernel's bisection check).
 ``trace_heavy``
     One operational run with every trace record retained versus the
     counting-only default, isolating the event-loop + tracing cost.
@@ -291,6 +297,55 @@ def bench_das_setup(size: int, setup_periods: int) -> dict:
     }
 
 
+def bench_das_dissem(size: int, setup_periods: int) -> dict:
+    """Distributed dissemination rounds: setup kernel vs legacy heap.
+
+    Times one full Phase 1 gossip on the flat-round setup kernel
+    (``messages_per_second`` is the tracked, gated number) and re-runs
+    the identical cell on the legacy event-heap engine, verifying the
+    two produce the same schedule, the same ``messages_sent`` and the
+    same trace counters — the bench-side half of the setup kernel's
+    bit-identity contract (``tests/test_fast_setup.py`` is the other).
+    """
+    from repro.simulator import trace as trace_kinds
+
+    topology = _grid(size)
+    config = PAPER.das_config(setup_periods=setup_periods)
+    fast_s, fast = _time(
+        run_das_setup, topology, config=config, seed=0, setup_kernel="fast"
+    )
+    legacy_s, legacy = _time(
+        run_das_setup, topology, config=config, seed=0, setup_kernel="legacy"
+    )
+
+    def counts(result):
+        kinds = (
+            trace_kinds.SEND,
+            trace_kinds.DELIVER,
+            trace_kinds.DROP,
+            trace_kinds.SLOT_ASSIGNED,
+            trace_kinds.SLOT_CHANGED,
+        )
+        return {kind: result.simulator.trace.count(kind) for kind in kinds}
+
+    identical = (
+        fast.schedule.slots() == legacy.schedule.slots()
+        and fast.schedule.parents() == legacy.schedule.parents()
+        and fast.messages_sent == legacy.messages_sent
+        and counts(fast) == counts(legacy)
+    )
+    return {
+        "grid": f"{size}x{size}",
+        "setup_periods": setup_periods,
+        "seconds": round(fast_s, 4),
+        "legacy_seconds": round(legacy_s, 4),
+        "kernel_speedup": round(legacy_s / fast_s, 3) if fast_s else None,
+        "messages_sent": fast.messages_sent,
+        "messages_per_second": round(fast.messages_sent / fast_s, 1),
+        "results_identical": identical,
+    }
+
+
 def bench_trace_heavy(size: int) -> dict:
     """Counting-only vs full-record tracing on one operational run."""
     from repro.app import run_operational_phase
@@ -328,6 +383,7 @@ def workload_plan(workers: int, quick: bool) -> List[Tuple[str, Callable[[], dic
             ("sweep11", lambda: bench_sweep(11, repeats=4, workers=workers)),
             ("setup7", lambda: bench_setup(7, builds=4)),
             ("das_setup", lambda: bench_das_setup(7, setup_periods=16)),
+            ("das_dissem15", lambda: bench_das_dissem(15, setup_periods=20)),
             ("trace_heavy", lambda: bench_trace_heavy(7)),
             ("scenario", lambda: bench_scenario("two-sources", repeats=4, workers=workers)),
         ]
@@ -336,6 +392,7 @@ def workload_plan(workers: int, quick: bool) -> List[Tuple[str, Callable[[], dic
         ("sweep15", lambda: bench_sweep(15, repeats=20, workers=workers)),
         ("setup15", lambda: bench_setup(15, builds=10)),
         ("das_setup", lambda: bench_das_setup(11, setup_periods=30)),
+        ("das_dissem15", lambda: bench_das_dissem(15, setup_periods=80)),
         ("trace_heavy", lambda: bench_trace_heavy(11)),
         ("scenario", lambda: bench_scenario("two-sources", repeats=20, workers=workers)),
         ("scenario_churn", lambda: bench_scenario("churn-10pct", repeats=20, workers=workers)),

@@ -55,6 +55,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..attacker import EavesdropperAgent
+from ..attacker.decision import HeardMessage
 from ..mac import TdmaFrame
 from ..simulator import PERIOD_START, Simulator
 from ..simulator import trace as trace_kinds
@@ -66,11 +67,12 @@ from .dynamics import SourceTracker
 _SlotGroup = Tuple[int, float, Tuple[NodeId, ...]]
 
 #: Per-sender forwarding-table entry:
-#: (receiver ids fed to the noise block-draw,
-#:  per-receiver aggregation targets — the receiver's live pending set,
-#:  or ``None`` when the receiver ignores this sender's traffic,
-#:  the sender's audibility set for the eavesdropper test).
-_LaneEntry = Tuple[Tuple[NodeId, ...], Tuple[Optional[set], ...], frozenset]
+#: (the sender's dense node index,
+#:  receiver ids fed to the noise block-draw,
+#:  per-receiver aggregation targets — the receiver's dense node index
+#:  when it aggregates this sender's traffic, or ``-1`` when the
+#:  traffic is heard and counted but never folded).
+_LaneEntry = Tuple[int, Tuple[NodeId, ...], Tuple[int, ...]]
 
 
 def fast_kernel_supported(frame: TdmaFrame, propagation_delay: float) -> bool:
@@ -182,17 +184,19 @@ def compile_fast_lane(
     sim: Simulator,
     processes: Dict[NodeId, ConvergecastNodeProcess],
     sink: NodeId,
-    pending: Dict[NodeId, set],
+    index: Dict[NodeId, int],
 ) -> Tuple[Dict[NodeId, _LaneEntry], Set[NodeId]]:
     """Compile the per-node forwarding tables for the current radio state.
 
-    For every transmitting node the table stores the receiver-id tuple
-    fed to the noise block-draw (attached neighbours, in the exact order
+    For every transmitting node the table stores its dense index into
+    ``index`` (sorted node order — the same order the pending-origin
+    bitmasks are bit-indexed by), the receiver-id tuple fed to the noise
+    block-draw (attached neighbours, in the exact order
     :meth:`RadioMedium.transmit` uses), and — per receiver — either the
-    receiver's *live* pending set (when the receiver aggregates this
-    sender's traffic: it is the sink, or the sender is one of its
-    installed children) or ``None`` (traffic heard and counted, never
-    folded).  Also returns the set of currently muted (asleep) nodes.
+    receiver's dense index (when the receiver aggregates this sender's
+    traffic: it is the sink, or the sender is one of its installed
+    children) or ``-1`` (traffic heard and counted, never folded).
+    Also returns the set of currently muted (asleep) nodes.
 
     Valid until the radio's attachment :attr:`~RadioMedium.epoch` moves;
     the run loop recompiles after every perturbation boundary that
@@ -206,12 +210,12 @@ def compile_fast_lane(
             continue
         fanout, receiver_ids = radio.fanout(node)
         targets = tuple(
-            pending[receiver]
+            index[receiver]
             if (receiver == sink or node in children_of[receiver])
-            else None
+            else -1
             for receiver, _callback in fanout
         )
-        tables[node] = (receiver_ids, targets, radio.audible_set(node))
+        tables[node] = (index[node], receiver_ids, targets)
     muted = {node for node, proc in processes.items() if proc.asleep}
     return tables, muted
 
@@ -230,10 +234,20 @@ def _run_table_lane(
     The per-message chain — emit, noise block, eavesdropper audibility,
     fan-out, aggregation — runs as plain loops over the tables; the
     event heap is consulted only at period boundaries (perturbations).
-    State (per-node pending origin sets, send counts, trace totals) is
-    kept flat and synced back onto the process objects and the trace
-    recorder on every exit path, so downstream accounting observes
-    exactly what the object-driven engines would have produced.
+    The per-node pending origin sets live as node-indexed **bitmask
+    ints** (bit *i* set ⇔ node ``nodes[i]``'s reading is aggregated),
+    so a delivery's fold is one ``|=`` and the sink's per-period take is
+    one ``bit_count()``; real sets are reconstructed only at sync time.
+    The eavesdropper's hear path runs inline against a precomputed
+    audibility row — the set of senders audible from the attacker's
+    current location, rebuilt only when the attacker moves — and its
+    ``ARcv`` buffering happens without a call; the rare ``Decide`` step
+    (a move, an RNG tie-break, a capture test) delegates to the real
+    agent so times, periods and paths stay bit-identical.  State (send
+    counts, trace totals, pending origins) is synced back onto the
+    process objects and the trace recorder on every exit path, so
+    downstream accounting observes exactly what the object-driven
+    engines would have produced.
     """
     radio = sim.radio
     trace = sim.trace
@@ -245,14 +259,39 @@ def _run_table_lane(
     keep_hear = trace.wants(trace_kinds.ATTACKER_HEAR)
 
     nodes = sorted(processes)
+    index = {node: i for i, node in enumerate(nodes)}
     sink = next(node for node in nodes if processes[node].is_sink)
+    sink_idx = index[sink]
     sink_collected = processes[sink].collected_by_period
-    pending: Dict[NodeId, set] = {node: set() for node in nodes}
-    sink_pending = pending[sink]
-    sent: Dict[NodeId, int] = dict.fromkeys(nodes, 0)
+    #: per-node pending-origin bitmasks, and each node's own bit.
+    own_bit = [0 if node == sink else (1 << i) for i, node in enumerate(nodes)]
+    pending: List[int] = [0] * len(nodes)
+    sent: List[int] = [0] * len(nodes)
 
-    tables, muted = compile_fast_lane(sim, processes, sink, pending)
+    tables, muted = compile_fast_lane(sim, processes, sink, index)
     built_epoch = radio.epoch
+
+    # The attacker's compiled hear/decide state: its Figure 1 machine,
+    # the R/M caps, a per-sender slot memo (one `slot_lookup` call per
+    # sender heard, instead of one per overheard broadcast), and the
+    # audibility row of its current location (location → row memoised:
+    # audibility is topology-derived and immutable for the run).
+    astate = agent.state
+    r_cap = astate.spec.r
+    m_cap = astate.spec.m
+    amsgs = astate.messages
+    slot_memo: Dict[NodeId, int] = {}
+    audible_rows: Dict[NodeId, frozenset] = {}
+
+    def audibility_row(location: NodeId) -> frozenset:
+        row = audible_rows.get(location)
+        if row is None:
+            audible_of = radio.audible_set
+            row = frozenset(s for s in tables if location in audible_of(s))
+            audible_rows[location] = row
+        return row
+
+    arow = audibility_row(agent.location)
 
     period_length = frame.period_length
     dissemination = frame.dissemination_duration
@@ -267,7 +306,7 @@ def _run_table_lane(
             # run() drains everything due, then advances the clock.
             sim.run(until=boundary)
             if radio.epoch != built_epoch:
-                tables, muted = compile_fast_lane(sim, processes, sink, pending)
+                tables, muted = compile_fast_lane(sim, processes, sink, index)
                 built_epoch = radio.epoch
 
             # Period-start hooks, in the legacy driver's client order:
@@ -280,11 +319,8 @@ def _run_table_lane(
             if not agent.captured and agent.location in active:
                 agent.register_capture(agent.location, boundary)
             if period > 0:
-                sink_collected[period - 1] = len(sink_pending)
-            for node, origins in pending.items():
-                origins.clear()
-                if node != sink:
-                    origins.add(node)
+                sink_collected[period - 1] = pending[sink_idx].bit_count()
+            pending[:] = own_bit
             if agent.captured:
                 # The legacy engine stops before any slot event of this
                 # period fires; the boundary hooks above already ran.
@@ -295,17 +331,17 @@ def _run_table_lane(
             slot_base = boundary + dissemination
             for _slot, offset, senders in timeline:
                 slot_time = slot_base + offset
-                group_deliveries: List[Tuple[set, Tuple[Optional[set], ...]]] = []
+                group_deliveries: List[Tuple[int, Tuple[int, ...]]] = []
                 for node in senders:
                     if node in muted:
                         continue  # emit() would have returned None
-                    sent[node] += 1
+                    s_idx, receiver_ids, targets = tables[node]
+                    sent[s_idx] += 1
                     sends += 1
-                    receiver_ids, targets, audible = tables[node]
                     if receiver_ids:
                         flags = delivers_block(node, receiver_ids, rng)
                         if all(flags):
-                            group_deliveries.append((pending[node], targets))
+                            group_deliveries.append((pending[s_idx], targets))
                         else:
                             kept = tuple(
                                 target
@@ -314,8 +350,8 @@ def _run_table_lane(
                             )
                             drops += len(targets) - len(kept)
                             if kept:
-                                group_deliveries.append((pending[node], kept))
-                    if agent.location in audible:
+                                group_deliveries.append((pending[s_idx], kept))
+                    if node in arow:
                         if delivers(node, -1, rng):
                             if keep_hear:
                                 record(
@@ -326,34 +362,61 @@ def _run_table_lane(
                                 )
                             else:
                                 hears += 1
-                            agent.overhear(node, None, slot_time)
-                    if agent.captured:
-                        # A capture ends the run after the event that
-                        # caused it: later senders of this slot never
-                        # transmit and the group's buffered deliveries
-                        # never fire, exactly as the legacy loop stops
-                        # with those events still queued.
-                        return current_period
+                            # Inline ARcv: buffer up to R, then Decide.
+                            if len(amsgs) < r_cap:
+                                slot_of = slot_memo.get(node)
+                                if slot_of is None:
+                                    try:
+                                        slot_of = agent._slot_lookup(node)
+                                    except Exception:
+                                        slot_of = 0
+                                    slot_memo[node] = slot_of
+                                amsgs.append(
+                                    HeardMessage(
+                                        sender=node, slot=slot_of, time=slot_time
+                                    )
+                                )
+                            if len(amsgs) >= r_cap and astate.moves < m_cap:
+                                location = astate.location
+                                agent._decide(slot_time)
+                                if agent.captured:
+                                    # A capture ends the run after the
+                                    # event that caused it: later senders
+                                    # of this slot never transmit and the
+                                    # group's buffered deliveries never
+                                    # fire, exactly as the legacy loop
+                                    # stops with those events queued.
+                                    return current_period
+                                if astate.location != location:
+                                    arow = audibility_row(astate.location)
                 # Deliver the whole group after it transmitted (the
-                # (time, seq) heap order).  Union order is irrelevant
-                # for set aggregation; the group-isolation compile check
-                # guarantees no sender's origins changed since it sent.
-                # DELIVER is counted here, not at transmit time: a
-                # capture mid-group discards the buffered deliveries,
-                # and the legacy engine never counts undelivered ones.
+                # (time, seq) heap order).  Each buffered entry snapshots
+                # the sender's origin mask at transmit time — the exact
+                # frozen-origins semantics of AggregateMessage — and the
+                # group-isolation compile check guarantees that equals
+                # the delivery-time value.  DELIVER is counted here, not
+                # at transmit time: a capture mid-group discards the
+                # buffered deliveries, and the legacy engine never
+                # counts undelivered ones.
                 for origins, kept_targets in group_deliveries:
                     delivers_count += len(kept_targets)
                     for target in kept_targets:
-                        if target is not None:
-                            target |= origins
+                        if target >= 0:
+                            pending[target] |= origins
         return current_period
     finally:
         trace.bump_many(trace_kinds.SEND, sends)
         trace.bump_many(trace_kinds.DELIVER, delivers_count)
         trace.bump_many(trace_kinds.DROP, drops)
         trace.bump_many(trace_kinds.ATTACKER_HEAR, hears)
-        for node in nodes:
-            processes[node].adopt_state(current_period, pending[node], sent[node])
+        for i, node in enumerate(nodes):
+            mask = pending[i]
+            origins = set()
+            while mask:
+                low = mask & -mask
+                origins.add(nodes[low.bit_length() - 1])
+                mask ^= low
+            processes[node].adopt_state(current_period, origins, sent[i])
 
 
 def _run_object_lane(

@@ -68,6 +68,16 @@ def _kernel_of(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _setup_kernel_of(args: argparse.Namespace) -> Optional[str]:
+    """The setup-phase engine implied by ``--legacy-setup-kernel``.
+
+    Selects the event-heap engine for distributed schedule builds
+    instead of the flat-round setup kernel (bit-identical; the knob
+    exists so a setup-phase regression can be bisected to a layer).
+    """
+    return "legacy" if getattr(args, "legacy_setup_kernel", False) else None
+
+
 def _print_cache_summary() -> None:
     """One line of schedule-cache stats (this process's cache), so a
     perf regression can be bisected to the cache layer at a glance."""
@@ -85,7 +95,9 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
         noise=args.noise,
         workers=args.workers,
         kernel=_kernel_of(args),
+        setup_kernel=_setup_kernel_of(args),
         use_schedule_cache=not args.no_schedule_cache,
+        use_distributed=args.distributed,
     )
     print(format_figure5(result))
     _print_cache_summary()
@@ -100,6 +112,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         search_distance=args.search_distance,
         setup_periods=args.setup_periods,
         workers=args.workers,
+        setup_kernel=_setup_kernel_of(args),
     )
     print(format_overhead(measurement))
     return 0
@@ -182,6 +195,7 @@ def _make_scenario_runner(args: argparse.Namespace) -> ScenarioRunner:
         workers=args.workers,
         force_parallel=args.force_parallel,
         kernel=_kernel_of(args),
+        setup_kernel=_setup_kernel_of(args),
         use_schedule_cache=not args.no_schedule_cache,
     )
 
@@ -239,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
         "keep the fast kernel but disable its table-driven message-path "
         "fast lane (bit-identical; for bisection)"
     )
+    legacy_setup_kernel_help = (
+        "build distributed-setup schedules on the legacy event-heap "
+        "engine instead of the flat-round setup kernel "
+        "(bit-identical; for bisection)"
+    )
 
     fig = sub.add_parser("figure5", help="regenerate a Figure 5 panel")
     fig.add_argument("--search-distance", type=int, default=3, choices=(3, 5))
@@ -249,7 +268,16 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--workers", type=workers_argument, default=None, help=workers_help)
     fig.add_argument("--legacy-kernel", action="store_true", help=legacy_kernel_help)
     fig.add_argument("--no-fast-lane", action="store_true", help=no_fast_lane_help)
+    fig.add_argument(
+        "--legacy-setup-kernel", action="store_true", help=legacy_setup_kernel_help
+    )
     fig.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
+    fig.add_argument(
+        "--distributed",
+        action="store_true",
+        help="build schedules with the full message-level setup protocols "
+        "instead of the centralised pipeline",
+    )
     fig.set_defaults(func=_cmd_figure5)
 
     over = sub.add_parser("overhead", help="measure SLP setup overhead")
@@ -258,6 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
     over.add_argument("--search-distance", type=int, default=3)
     over.add_argument("--setup-periods", type=int, default=None)
     over.add_argument("--workers", type=workers_argument, default=None, help=workers_help)
+    over.add_argument(
+        "--legacy-setup-kernel", action="store_true", help=legacy_setup_kernel_help
+    )
     over.set_defaults(func=_cmd_overhead)
 
     ver = sub.add_parser("verify", help="run VerifySchedule (Algorithm 1)")
@@ -293,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scn_run.add_argument("--legacy-kernel", action="store_true", help=legacy_kernel_help)
     scn_run.add_argument("--no-fast-lane", action="store_true", help=no_fast_lane_help)
+    scn_run.add_argument(
+        "--legacy-setup-kernel", action="store_true", help=legacy_setup_kernel_help
+    )
     scn_run.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
     scn_run.add_argument(
         "--jsonl",
@@ -325,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scn_cmp.add_argument("--legacy-kernel", action="store_true", help=legacy_kernel_help)
     scn_cmp.add_argument("--no-fast-lane", action="store_true", help=no_fast_lane_help)
+    scn_cmp.add_argument(
+        "--legacy-setup-kernel", action="store_true", help=legacy_setup_kernel_help
+    )
     scn_cmp.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
     scn_cmp.set_defaults(func=_cmd_scenario_compare)
 

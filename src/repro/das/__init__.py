@@ -10,17 +10,29 @@ Two routes to a schedule are provided:
 """
 
 from .centralized import DEFAULT_NUM_SLOTS, centralized_das_schedule
+from .fast_setup import (
+    DEFAULT_SETUP_KERNEL,
+    SETUP_KERNELS,
+    fast_setup_compilable,
+    fast_setup_supported,
+    run_fast_setup,
+)
 from .messages import DissemMessage, HelloMessage, NodeInfo
 from .protocol import DasNodeProcess, DasProtocolConfig, DasSetupResult, run_das_setup
 
 __all__ = [
     "DEFAULT_NUM_SLOTS",
+    "DEFAULT_SETUP_KERNEL",
     "DasNodeProcess",
     "DasProtocolConfig",
     "DasSetupResult",
     "DissemMessage",
     "HelloMessage",
     "NodeInfo",
+    "SETUP_KERNELS",
     "centralized_das_schedule",
+    "fast_setup_compilable",
+    "fast_setup_supported",
     "run_das_setup",
+    "run_fast_setup",
 ]

@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..core import Schedule
-from ..errors import ProtocolError
+from ..errors import ProtocolError, invalid_field
 from ..simulator import (
     IdealNoise,
     NoiseModel,
@@ -38,6 +38,13 @@ from ..simulator import (
     SLOT_CHANGED,
 )
 from ..topology import NodeId, Topology
+from .fast_setup import (
+    DEFAULT_SETUP_KERNEL,
+    SETUP_KERNELS,
+    fast_setup_compilable,
+    fast_setup_supported,
+    run_fast_setup,
+)
 from .messages import DissemMessage, HelloMessage, NodeInfo
 
 
@@ -409,11 +416,26 @@ class DasSetupResult:
     rounds: int
 
 
+def resolve_setup_kernel(setup_kernel: Optional[str], owner: str) -> str:
+    """Validate a ``setup_kernel`` choice (``None`` = the default)."""
+    resolved = setup_kernel if setup_kernel is not None else DEFAULT_SETUP_KERNEL
+    if resolved not in SETUP_KERNELS:
+        raise invalid_field(
+            owner,
+            "setup_kernel",
+            setup_kernel,
+            f"pick one of {SETUP_KERNELS} (or None for the default)",
+        )
+    return resolved
+
+
 def run_das_setup(
     topology: Topology,
     config: Optional[DasProtocolConfig] = None,
     seed: Optional[int] = None,
     noise: Optional[NoiseModel] = None,
+    process_factory: Optional[Callable[..., DasNodeProcess]] = None,
+    setup_kernel: Optional[str] = None,
 ) -> DasSetupResult:
     """Run distributed Phase 1 on ``topology`` and extract the schedule.
 
@@ -421,21 +443,41 @@ def run_das_setup(
     obtain a slot within ``setup_periods`` rounds (e.g. under extreme
     loss); callers wanting partial results can inspect the simulator's
     processes directly.
+
+    ``setup_kernel`` picks the engine: ``"fast"`` (the flat-round setup
+    kernel of :mod:`repro.das.fast_setup`, the default) or ``"legacy"``
+    (the event-heap engine).  Both are bit-identical — same RNG stream,
+    same schedule, same traces — so the knob exists for bisection.  The
+    fast kernel engages only when every process is exactly
+    :class:`DasNodeProcess` (``process_factory`` lets harnesses inject
+    subclasses, which fall back to the heap automatically) and the
+    round geometry lets it preserve heap event order.
     """
     cfg = config if config is not None else DasProtocolConfig()
+    kernel = resolve_setup_kernel(setup_kernel, "run_das_setup")
     sim = Simulator(
         topology,
         noise=noise if noise is not None else IdealNoise(),
         seed=seed,
         trace_kinds=frozenset({SLOT_ASSIGNED, SLOT_CHANGED}),
     )
+    factory = process_factory if process_factory is not None else DasNodeProcess
     processes: Dict[NodeId, DasNodeProcess] = {}
     for node in topology.nodes:
-        proc = DasNodeProcess(node, is_sink=(node == topology.sink), config=cfg)
+        proc = factory(node, is_sink=(node == topology.sink), config=cfg)
         processes[node] = proc
         sim.register_process(proc)
 
-    sim.run(until=cfg.setup_periods * cfg.dissemination_period + 1e-9)
+    use_fast = (
+        kernel == "fast"
+        and fast_setup_compilable(processes, DasNodeProcess)
+        and fast_setup_supported(cfg, sim.radio.propagation_delay)
+    )
+    if use_fast:
+        state = run_fast_setup(sim, topology, cfg)
+        state.sync(processes, cfg.setup_periods)
+    else:
+        sim.run(until=cfg.setup_periods * cfg.dissemination_period + 1e-9)
 
     unassigned = [n for n, p in processes.items() if not p.assigned]
     if unassigned:

@@ -80,17 +80,21 @@ def run_figure5(
     parameters: PaperParameters = PAPER,
     workers: Optional[int] = None,
     kernel: Optional[str] = None,
+    setup_kernel: Optional[str] = None,
     use_schedule_cache: bool = True,
+    use_distributed: bool = False,
 ) -> Figure5Result:
     """Regenerate one panel of Figure 5.
 
     Parameters mirror the paper's setup; reduce ``repeats`` or ``sizes``
     for quick runs (the benchmarks do).  ``workers`` fans the seed
     sweeps out over that many processes (``None`` = serial); results are
-    identical either way.  ``kernel`` and ``use_schedule_cache`` are the
-    bisection knobs of the performance layer (also identical either
-    way): the protectionless cells of the two panels share one schedule
-    per (size, seed) through the cache.
+    identical either way.  ``kernel``, ``setup_kernel`` and
+    ``use_schedule_cache`` are the bisection knobs of the performance
+    layer (also identical either way): the protectionless cells of the
+    two panels share one schedule per (size, seed) through the cache.
+    ``use_distributed`` builds every schedule with the full
+    message-level setup protocols instead of the centralised pipeline.
     """
     workers = resolve_workers(workers)
     cells = []
@@ -117,7 +121,9 @@ def run_figure5(
                     attacker=attacker,
                     parameters=parameters,
                     kernel=kernel,
+                    setup_kernel=setup_kernel,
                     use_schedule_cache=use_schedule_cache,
+                    use_distributed=use_distributed,
                 )
             )
             slp = runner.run(
@@ -130,7 +136,9 @@ def run_figure5(
                     attacker=attacker,
                     parameters=parameters,
                     kernel=kernel,
+                    setup_kernel=setup_kernel,
                     use_schedule_cache=use_schedule_cache,
+                    use_distributed=use_distributed,
                 )
             )
             cells.append(

@@ -50,20 +50,25 @@ def _measure_one_seed(
     refinement_periods: int,
     noise: Optional[NoiseModel],
     parameters: PaperParameters,
+    setup_kernel: Optional[str] = None,
 ) -> MessageOverhead:
     """One seed's baseline-vs-SLP setup comparison.
 
     Module-level so the parallel path can ship it to worker processes.
     """
     das_cfg = parameters.das_config(setup_periods=setup_periods)
-    baseline = run_das_setup(topology, config=das_cfg, seed=seed, noise=noise)
+    baseline = run_das_setup(
+        topology, config=das_cfg, seed=seed, noise=noise, setup_kernel=setup_kernel
+    )
     slp_cfg = SlpProtocolConfig(
         das=das_cfg,
         search_distance=search_distance,
         change_length=parameters.change_length(topology, search_distance),
         refinement_periods=refinement_periods,
     )
-    slp = run_slp_setup(topology, config=slp_cfg, seed=seed, noise=noise)
+    slp = run_slp_setup(
+        topology, config=slp_cfg, seed=seed, noise=noise, setup_kernel=setup_kernel
+    )
     return MessageOverhead(
         baseline_messages=baseline.messages_sent,
         slp_messages=slp.messages_sent,
@@ -81,6 +86,7 @@ def measure_setup_overhead(
     noise: Optional[NoiseModel] = None,
     parameters: PaperParameters = PAPER,
     workers: Optional[int] = None,
+    setup_kernel: Optional[str] = None,
 ) -> OverheadMeasurement:
     """Measure SLP setup overhead over protectionless setup.
 
@@ -88,6 +94,8 @@ def measure_setup_overhead(
     smaller value to keep runtime down — overhead ratios are unaffected
     because both protocols share the same Phase 1.  ``workers`` spreads
     the seeds over that many processes (``None`` or ``1`` = serial).
+    ``setup_kernel`` selects the setup engine (``"fast"``/``"legacy"``/
+    ``None`` for the default; bit-identical either way).
     """
     seeds = list(seeds)
     workers = resolve_workers(workers)
@@ -103,6 +111,7 @@ def measure_setup_overhead(
                     (refinement_periods,) * len(seeds),
                     (noise,) * len(seeds),
                     (parameters,) * len(seeds),
+                    (setup_kernel,) * len(seeds),
                 )
             )
     else:
@@ -115,6 +124,7 @@ def measure_setup_overhead(
                 refinement_periods,
                 noise,
                 parameters,
+                setup_kernel,
             )
             for seed in seeds
         ]

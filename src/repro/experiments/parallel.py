@@ -19,13 +19,19 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..app import OperationalResult
+from ..core import Schedule
 from ..errors import ConfigurationError, invalid_field
 from ..metrics import capture_stats
 from ..topology import Topology
 from .runner import ExperimentConfig, ExperimentOutcome, ExperimentRunner
+from .schedule_cache import (
+    ScheduleCache,
+    default_schedule_cache,
+    schedule_cache_enabled,
+)
 
 
 def default_workers() -> int:
@@ -117,12 +123,21 @@ def seed_chunks(seeds: Sequence[int], tasks: int) -> List[Tuple[int, ...]]:
 
 
 def _run_seed_chunk(
-    topology: Topology, config: ExperimentConfig, seeds: Tuple[int, ...]
+    topology: Topology,
+    config: ExperimentConfig,
+    seeds: Tuple[int, ...],
+    schedules: Optional[Dict[Tuple, Schedule]] = None,
 ) -> List[OperationalResult]:
     """Worker entry point: execute one contiguous chunk of seeds.
 
+    ``schedules`` carries any of the chunk's schedules the parent had
+    already built (keyed exactly as the worker's ``build_schedule``
+    lookups); they are preloaded counter-neutrally into this worker's
+    process-default cache so the worker reuses instead of rebuilding.
     Module-level so it pickles by reference under every start method.
     """
+    if schedules:
+        default_schedule_cache().preload(schedules)
     runner = ExperimentRunner(topology)
     return [runner.run_once(config, seed) for seed in seeds]
 
@@ -148,6 +163,10 @@ class ParallelExperimentRunner(ExperimentRunner):
         created lazily on first use and reused across ``run`` calls
         (pool start-up would otherwise dominate short sweeps) — close
         it with :meth:`close` or use the runner as a context manager.
+    schedule_cache:
+        As on :class:`ExperimentRunner` — the parent-side cache
+        consulted by ``build_schedule`` *and* mined for already-built
+        schedules to ship with each worker chunk.
     """
 
     def __init__(
@@ -156,8 +175,9 @@ class ParallelExperimentRunner(ExperimentRunner):
         workers: Optional[int] = None,
         chunks_per_worker: int = 4,
         executor: Optional[ProcessPoolExecutor] = None,
+        schedule_cache: Optional["ScheduleCache"] = None,
     ) -> None:
-        super().__init__(topology)
+        super().__init__(topology, schedule_cache=schedule_cache)
         resolved = default_workers() if not workers else workers
         if resolved < 1:
             raise invalid_field(
@@ -178,6 +198,34 @@ class ParallelExperimentRunner(ExperimentRunner):
     def workers(self) -> int:
         """The process count seed sweeps fan out over."""
         return self._workers
+
+    def _cached_schedules_for(
+        self, config: ExperimentConfig, seeds: Tuple[int, ...]
+    ) -> Optional[Dict[Tuple, Schedule]]:
+        """The chunk's schedules the parent already holds, keyed for the
+        worker's lookups.
+
+        Only entries actually present travel (a cold parent ships
+        nothing — workers build and cache locally exactly as before),
+        and the peek is counter-neutral so parent-side ``cache_hits``
+        accounting keeps meaning "a build was avoided *here*".
+        """
+        if not config.use_schedule_cache:
+            return None
+        cache = self._schedule_cache
+        if cache is None and schedule_cache_enabled():
+            cache = default_schedule_cache()
+        if cache is None:
+            return None
+        shipped: Dict[Tuple, Schedule] = {}
+        for seed in seeds:
+            key = self.schedule_key_for(config, seed)
+            if key in shipped:
+                continue  # unseeded builds: one key covers every seed
+            schedule = cache.peek(key)
+            if schedule is not None:
+                shipped[key] = schedule
+        return shipped or None
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._external_executor is not None:
@@ -207,6 +255,7 @@ class ParallelExperimentRunner(ExperimentRunner):
             return super().run(config)
         chunks = seed_chunks(seeds, self._workers * self._chunks_per_worker)
         executor = self._ensure_executor()
+        payloads = [self._cached_schedules_for(config, chunk) for chunk in chunks]
         results: List[OperationalResult] = []
         # map() yields in submission order; chunks are contiguous, so the
         # flattened results are exactly the serial seed order.
@@ -215,6 +264,7 @@ class ParallelExperimentRunner(ExperimentRunner):
             (self._topology,) * len(chunks),
             (config,) * len(chunks),
             chunks,
+            payloads,
         ):
             results.extend(chunk_results)
         return ExperimentOutcome(

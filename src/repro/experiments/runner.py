@@ -28,6 +28,7 @@ from ..app import (
 from ..attacker import AttackerSpec
 from ..core import Schedule
 from ..das import centralized_das_schedule, run_das_setup
+from ..das.protocol import resolve_setup_kernel
 from ..errors import invalid_field
 from ..metrics import CaptureStats, capture_stats
 from ..simulator import CasinoLabNoise, NoiseModel
@@ -92,6 +93,13 @@ class ExperimentConfig:
         bit-identical; the knob exists so regressions can be bisected
         to a layer.  Carried on the config so parallel workers inherit
         the choice.
+    setup_kernel:
+        Setup-phase engine for distributed schedule builds
+        (``use_distributed=True``): ``"fast"`` (the flat-round kernel
+        of :mod:`repro.das.fast_setup`), ``"legacy"`` (the event heap)
+        or ``None`` for the engine default.  Bit-identical either way;
+        ignored by centralised builds.  Carried on the config so
+        parallel workers inherit the choice.
     use_schedule_cache:
         Whether :meth:`ExperimentRunner.build_schedule` may reuse
         memoised schedules (identical either way — schedule building is
@@ -117,6 +125,7 @@ class ExperimentConfig:
     perturbations: Tuple[Perturbation, ...] = ()
     max_periods: Optional[int] = None
     kernel: Optional[str] = None
+    setup_kernel: Optional[str] = None
     use_schedule_cache: bool = True
     schedule_jitter: bool = True
 
@@ -140,6 +149,7 @@ class ExperimentConfig:
                 self.kernel,
                 f"pick one of {KERNELS} (or None for the default)",
             )
+        resolve_setup_kernel(self.setup_kernel, "ExperimentConfig")
         if self.algorithm not in ALGORITHMS:
             raise invalid_field(
                 "ExperimentConfig",
@@ -242,9 +252,18 @@ class ExperimentRunner:
             cache = default_schedule_cache()
         if cache is None or not config.use_schedule_cache:
             return self._build_schedule(config, seed)
+        key = self.schedule_key_for(config, seed)
+        return cache.get_or_build(key, lambda: self._build_schedule(config, seed))
+
+    def schedule_key_for(self, config: ExperimentConfig, seed: int) -> Tuple:
+        """The content-addressed cache key of one run's schedule build.
+
+        Public so the parallel runner can ship the parent's already-built
+        entries to worker processes under exactly the keys the workers
+        will look up."""
         if self._fingerprint is None:
             self._fingerprint = topology_fingerprint(self._topology)
-        key = schedule_key(
+        return schedule_key(
             self._fingerprint,
             self._topology,
             config.algorithm,
@@ -255,8 +274,12 @@ class ExperimentRunner:
             config.noise,
             seeded=config.seeded_schedule,
             jitter=config.schedule_jitter,
+            setup_kernel=(
+                resolve_setup_kernel(config.setup_kernel, "ExperimentConfig")
+                if config.use_distributed
+                else None
+            ),
         )
-        return cache.get_or_build(key, lambda: self._build_schedule(config, seed))
 
     def _build_schedule(self, config: ExperimentConfig, seed: int) -> Schedule:
         params = config.parameters
@@ -267,6 +290,7 @@ class ExperimentRunner:
                     config=params.das_config(),
                     seed=seed,
                     noise=config.make_noise(),
+                    setup_kernel=config.setup_kernel,
                 ).schedule
             return centralized_das_schedule(
                 self._topology,
@@ -288,6 +312,7 @@ class ExperimentRunner:
                 config=slp_config,
                 seed=seed,
                 noise=config.make_noise(),
+                setup_kernel=config.setup_kernel,
             ).schedule
         return build_slp_schedule(
             self._topology,

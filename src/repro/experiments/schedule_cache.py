@@ -73,6 +73,7 @@ def schedule_key(
     noise: object,
     seeded: bool = True,
     jitter: bool = True,
+    setup_kernel: Optional[str] = None,
 ) -> Tuple:
     """The cache key for one schedule build.
 
@@ -97,6 +98,13 @@ def schedule_key(
     starts from a different Phase 1 baseline), so the two must never
     share an entry.  Distributed builds ignore the flag, and their key
     ignores it too.
+
+    ``setup_kernel`` (the *resolved* engine of a distributed build,
+    never ``None``-as-default) keys distributed entries by the engine
+    that built them.  The engines are bit-identical, so sharing would
+    be harmless for results — but someone selecting ``legacy`` is
+    bisecting the fast kernel, and handing them a fast-built cache
+    entry would defeat exactly that.  Centralised builds pass ``None``.
     """
     slp = algorithm != "protectionless"
     return (
@@ -109,6 +117,7 @@ def schedule_key(
         jitter if not use_distributed else None,
         repr(parameters),
         repr(noise) if use_distributed else None,
+        setup_kernel if use_distributed else None,
     )
 
 
@@ -154,6 +163,31 @@ class ScheduleCache:
         if len(entries) > self._maxsize:
             entries.popitem(last=False)
         return schedule
+
+    def peek(self, key: Tuple) -> Optional[Schedule]:
+        """A counter-neutral lookup: the cached schedule or ``None``.
+
+        Does not bump hits/misses and does not refresh LRU recency —
+        the parallel runner uses it to see which of a sweep's schedules
+        are already built (to ship them to workers) without distorting
+        the accounting the bench reports.
+        """
+        return self._entries.get(key)
+
+    def preload(self, entries: Dict[Tuple, Schedule]) -> None:
+        """Seed the cache with already-built schedules, counter-neutrally.
+
+        Worker processes call this with the entries the parent shipped
+        in the chunk payload; the subsequent ``get_or_build`` lookups
+        then count as ordinary hits (they are: the schedule exists and
+        is reused), while the preload itself is neither a hit nor a
+        miss — the worker never looked anything up to install it.
+        """
+        cache = self._entries
+        for key, schedule in entries.items():
+            cache[key] = schedule
+            if len(cache) > self._maxsize:
+                cache.popitem(last=False)
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""

@@ -139,6 +139,11 @@ class ScenarioRunner:
         Operational kernel override (``"fast"``/``"fast-object"``/
         ``"legacy"``/``None`` for the engine default); bit-identical
         whichever is chosen.
+    setup_kernel:
+        Setup-phase engine override for scenarios whose schedules come
+        from the distributed protocols (``"fast"``/``"legacy"``/``None``
+        for the engine default); bit-identical whichever is chosen and
+        ignored by centralised builds.
     use_schedule_cache:
         Whether sweeps may reuse memoised schedules (identical either
         way); ``False`` is the CLI's ``--no-schedule-cache``.
@@ -149,11 +154,13 @@ class ScenarioRunner:
         workers: Optional[int] = None,
         force_parallel: bool = False,
         kernel: Optional[str] = None,
+        setup_kernel: Optional[str] = None,
         use_schedule_cache: bool = True,
     ) -> None:
         self._workers = workers
         self._force_parallel = force_parallel
         self._kernel = kernel
+        self._setup_kernel = setup_kernel
         self._use_schedule_cache = use_schedule_cache
 
     @property
@@ -203,11 +210,13 @@ class ScenarioRunner:
         config = spec.to_config(repeats=seeds, base_seed=base_seed)
         if (
             self._kernel is not None
+            or self._setup_kernel is not None
             or not self._use_schedule_cache
         ):
             config = replace(
                 config,
                 kernel=self._kernel,
+                setup_kernel=self._setup_kernel,
                 use_schedule_cache=self._use_schedule_cache,
             )
         with make_runner(

@@ -20,11 +20,21 @@ Timeline (in dissemination rounds):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..core import Schedule
+from ..das.fast_setup import (
+    fast_setup_compilable,
+    fast_setup_supported,
+    run_fast_setup,
+    search_ttl,
+)
 from ..das.messages import NodeInfo
-from ..das.protocol import DasNodeProcess, DasProtocolConfig
+from ..das.protocol import (
+    DasNodeProcess,
+    DasProtocolConfig,
+    resolve_setup_kernel,
+)
 from ..errors import ProtocolError
 from ..simulator import (
     IdealNoise,
@@ -89,6 +99,11 @@ class SlpNodeProcess(DasNodeProcess):
         self.is_decoy = False
         self.search_forwarded = False
         self.redirect_length = 0  # pr
+        # Wire-message counters, bumped at each SEARCH/CHANGE broadcast
+        # so the harness can report Phase 2/3 overhead without retaining
+        # per-message SEND trace records.
+        self.search_sent = 0
+        self.change_sent = 0
 
     # ------------------------------------------------------------------
     # Round structure
@@ -124,12 +139,13 @@ class SlpNodeProcess(DasNodeProcess):
         self.sim.trace.record(
             self.sim.now, PHASE, phase="search-start", node=self.node, target=target
         )
+        self.search_sent += 1
         self.broadcast(
             SearchMessage(
                 sender=self.node,
                 target=target,
                 distance=self._slp.search_distance,
-                ttl=8 * self._slp.search_distance + 32,
+                ttl=search_ttl(self._slp.search_distance),
             )
         )
 
@@ -172,6 +188,7 @@ class SlpNodeProcess(DasNodeProcess):
                     return  # isolated leaf: nowhere to go at all
                 target = self.sim.rng.choice(revisit)
         self.search_forwarded = True
+        self.search_sent += 1
         self.broadcast(
             SearchMessage(
                 sender=self.node, target=target, distance=distance, ttl=ttl - 1
@@ -220,6 +237,7 @@ class SlpNodeProcess(DasNodeProcess):
         """Figure 4 ``startR``: recruit the first decoy node."""
         target = self.sim.rng.choice(sorted(spares))
         base = self._neighbourhood_min_slot()
+        self.change_sent += 1
         self.broadcast(
             ChangeMessage(
                 sender=self.node,
@@ -246,6 +264,7 @@ class SlpNodeProcess(DasNodeProcess):
             self._change_slot(message.base_slot - 1, reason="decoy")
             base = self._neighbourhood_min_slot()
             target = self.sim.rng.choice(candidates)
+            self.change_sent += 1
             self.broadcast(
                 ChangeMessage(
                     sender=self.node,
@@ -307,31 +326,63 @@ def run_slp_setup(
     config: Optional[SlpProtocolConfig] = None,
     seed: Optional[int] = None,
     noise: Optional[NoiseModel] = None,
+    process_factory: Optional[Callable[..., SlpNodeProcess]] = None,
+    setup_kernel: Optional[str] = None,
 ) -> SlpSetupResult:
     """Run the complete 3-phase distributed SLP DAS protocol.
 
     The default ``change_length`` is recomputed from the topology as
     ``max(1, Δss − SD)`` (Table I) when the caller passes no config.
+
+    ``setup_kernel`` selects the engine exactly as in
+    :func:`~repro.das.run_das_setup`: ``"fast"`` (the flat-round setup
+    kernel, the default) or ``"legacy"`` (the event heap), bit-identical
+    either way.  Subclasses injected via ``process_factory`` — and
+    search/refinement chain geometries the kernel cannot prove safe —
+    fall back to the heap automatically.
     """
     if config is None:
         sd = 3
         cl = max(1, topology.source_sink_distance() - sd)
         config = SlpProtocolConfig(search_distance=sd, change_length=cl)
+    kernel = resolve_setup_kernel(setup_kernel, "run_slp_setup")
 
     sim = Simulator(
         topology,
         noise=noise if noise is not None else IdealNoise(),
         seed=seed,
-        trace_kinds=frozenset({SLOT_ASSIGNED, SLOT_CHANGED, PHASE, SEND}),
+        trace_kinds=frozenset({SLOT_ASSIGNED, SLOT_CHANGED, PHASE}),
     )
+    factory = process_factory if process_factory is not None else SlpNodeProcess
     processes: Dict[NodeId, SlpNodeProcess] = {}
     for node in topology.nodes:
-        proc = SlpNodeProcess(node, is_sink=(node == topology.sink), config=config)
+        proc = factory(node, is_sink=(node == topology.sink), config=config)
         processes[node] = proc
         sim.register_process(proc)
 
     total = config.das.setup_periods + config.refinement_periods
-    sim.run(until=total * config.das.dissemination_period + 1e-9)
+    use_fast = (
+        kernel == "fast"
+        and fast_setup_compilable(processes, SlpNodeProcess)
+        and fast_setup_supported(
+            config.das,
+            sim.radio.propagation_delay,
+            search_distance=config.search_distance,
+            change_length=config.change_length,
+        )
+    )
+    if use_fast:
+        state = run_fast_setup(
+            sim,
+            topology,
+            config.das,
+            search_distance=config.search_distance,
+            change_length=config.change_length,
+            total_rounds=total,
+        )
+        state.sync(processes, total)
+    else:
+        sim.run(until=total * config.das.dissemination_period + 1e-9)
 
     unassigned = [n for n, p in processes.items() if not p.assigned]
     if unassigned:
@@ -347,14 +398,8 @@ def run_slp_setup(
         raw_slots = {n: s + shift for n, s in raw_slots.items()}
     schedule = Schedule(raw_slots, parents, topology.sink)
 
-    search_count = 0
-    change_count = 0
-    for record in sim.trace.of_kind(SEND):
-        msg = record.detail.get("message")
-        if isinstance(msg, SearchMessage):
-            search_count += 1
-        elif isinstance(msg, ChangeMessage):
-            change_count += 1
+    search_count = sum(p.search_sent for p in processes.values())
+    change_count = sum(p.change_sent for p in processes.values())
 
     start_nodes = [n for n, p in processes.items() if p.is_start_node]
     decoys = tuple(

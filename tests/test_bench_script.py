@@ -55,6 +55,7 @@ class TestBenchQuickMode:
             "sweep11",
             "setup7",
             "das_setup",
+            "das_dissem15",
             "trace_heavy",
             "scenario",
         }
@@ -74,6 +75,13 @@ class TestBenchQuickMode:
         assert sweep["serial_seconds"] > 0
         assert sweep["parallel_seconds"] > 0
         assert sweep["speedup"] > 0
+
+    def test_das_dissem_identity_and_speedup_reported(self, bench_output):
+        _, out = bench_output
+        dissem = json.loads(out.read_text())["workloads"]["das_dissem15"]
+        assert dissem["results_identical"] is True  # fast == legacy heap
+        assert dissem["messages_per_second"] > 0
+        assert dissem["kernel_speedup"] > 0
 
     def test_trace_heavy_outcome_identical(self, bench_output):
         _, out = bench_output

@@ -45,6 +45,17 @@ DIFF_SEEDS = 2
 ALL_KERNELS = (LEGACY_KERNEL, OBJECT_KERNEL, FAST_KERNEL)
 
 
+def _attacker_spec(r, h, m, decision):
+    """An AttackerSpec with a named decision function."""
+    from repro.attacker import AttackerSpec
+    from repro.attacker.decision import AvoidRecentlyVisited, FollowAnyHeard
+
+    chooser = FollowAnyHeard() if decision == "any" else AvoidRecentlyVisited()
+    return AttackerSpec(
+        messages_per_move=r, history_size=h, moves_per_period=m, decision=chooser
+    )
+
+
 def _run_all(topology, schedule, *, seed, trace_kinds="default", **kwargs):
     """One run per kernel, returning (results, trace recorders)."""
     outcomes, traces = [], []
@@ -208,6 +219,41 @@ class TestFastLaneDynamics:
             _assert_identical(outcomes, traces)
             captured += outcomes[0].captured
         assert captured > 0  # the differential covered real captures
+
+    @pytest.mark.parametrize(
+        "spec_name,spec",
+        [
+            ("buffered", lambda: _attacker_spec(3, 0, 2, "any")),
+            ("multi-move", lambda: _attacker_spec(1, 0, 3, "any")),
+            ("history", lambda: _attacker_spec(1, 2, 1, "avoid")),
+            ("rng-heavy", lambda: _attacker_spec(2, 1, 2, "any")),
+        ],
+    )
+    def test_attacker_specs_exercise_inline_hear_decide(
+        self, grid7, spec_name, spec
+    ):
+        """The lane's compiled hear/decide path — ARcv buffering past
+        R=1, repeated same-period moves (each refreshing the audibility
+        row), H-deep history and RNG tie-breaks — must stay bit-identical
+        for capture times, periods and full attacker paths."""
+        schedule = centralized_das_schedule(grid7, seed=4)
+        moved = 0
+        for seed in range(6):
+            outcomes, traces = _run_all(
+                grid7,
+                schedule,
+                seed=seed,
+                noise=CasinoLabNoise(),
+                attacker=spec(),
+            )
+            _assert_identical(outcomes, traces)
+            first = outcomes[0]
+            for outcome in outcomes[1:]:
+                assert outcome.attacker_path == first.attacker_path
+                assert outcome.capture_time == first.capture_time
+                assert outcome.capture_period == first.capture_period
+            moved += len(first.attacker_path) > 1
+        assert moved > 0  # the inline Decide really fired
 
 
 class TestFastLaneCompilability:
