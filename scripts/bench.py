@@ -83,7 +83,9 @@ from repro.experiments import (
     PAPER,
     ExperimentConfig,
     ExperimentRunner,
+    FaultPlan,
     ParallelExperimentRunner,
+    RetryPolicy,
     default_schedule_cache,
     workers_argument,
 )
@@ -537,6 +539,49 @@ def default_output_path() -> Path:
     return path
 
 
+def run_chaos(workers: int) -> int:
+    """Quick supervised-execution drill: inject a transient failure, a
+    worker crash and a poison seed into one small sweep and check the
+    recovery contract — survivors identical to a fault-free serial
+    sweep, only the poison seed quarantined.  Used as a fast CI leg
+    (``--chaos``); writes no BENCH json and runs no timing gate.
+    """
+    import tempfile
+
+    topology = GridTopology(7)
+    config = ExperimentConfig(algorithm="protectionless", repeats=10, base_seed=0)
+    serial = ExperimentRunner(topology).run(config)
+    with tempfile.TemporaryDirectory() as markers:
+        plan = FaultPlan(
+            transient_seeds=(1,),
+            crash_seeds=(4,),
+            poison_seeds=(7,),
+            marker_dir=markers,
+        )
+        with plan.activated():
+            with ParallelExperimentRunner(
+                topology,
+                workers=max(workers, 2),
+                retry_policy=RetryPolicy(max_attempts=4, base_delay=0.01),
+                chunk_timeout=60.0,
+            ) as runner:
+                outcome = runner.run(config)
+    quarantined = [f.seed for f in outcome.failures]
+    expected = tuple(r for i, r in enumerate(serial.results) if i != 7)
+    checks = {
+        "quarantined_only_poison": quarantined == [7],
+        "survivors_identical": outcome.results == expected,
+        "stats_cover_survivors": outcome.stats.runs == config.repeats - 1,
+    }
+    for name, passed in checks.items():
+        print(f"chaos {name}: {'ok' if passed else 'FAILED'}", file=sys.stderr)
+    if not all(checks.values()):
+        print(f"CHAOS CHECK FAILED: {outcome.failures}", file=sys.stderr)
+        return 1
+    print("chaos drill passed", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -581,7 +626,16 @@ def main(argv=None) -> int:
         default=REGRESSION_THRESHOLD,
         help="fractional throughput loss that fails the run (default 0.15)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the supervised-execution chaos drill instead of the "
+        "timing suite (no BENCH json, no gate)",
+    )
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        return run_chaos(args.workers)
 
     if args.profile:
         suite = profile_suite(args.workers, args.quick, ARTIFACTS)

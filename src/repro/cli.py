@@ -25,7 +25,9 @@ from typing import List, Optional
 
 from .core import check_strong_das, check_weak_das, safety_period
 from .das import centralized_das_schedule
+from .errors import SweepExecutionError
 from .experiments import (
+    GUARD_MODES,
     PAPER,
     PAPER_SIZES,
     format_figure5,
@@ -46,6 +48,14 @@ from .slp import SlpParameters, build_slp_schedule
 from .topology import paper_grid
 from .verification import verify_schedule
 from .visualize import render_roles, render_slot_grid
+
+
+#: Exit code when a sweep could not produce any results at all
+#: (:class:`~repro.errors.SweepExecutionError`).
+EXIT_SWEEP_FAILED = 3
+#: Exit code when a sweep completed but supervised execution had to
+#: quarantine seeds — the report is usable but incomplete.
+EXIT_QUARANTINED = 4
 
 
 def _cmd_table1(_: argparse.Namespace) -> int:
@@ -84,6 +94,30 @@ def _print_cache_summary() -> None:
     print(default_schedule_cache().summary(), file=sys.stderr)
 
 
+def _quarantine_exit(failures, degraded: bool = False) -> int:
+    """The exit code after a sweep that completed with failures.
+
+    Quarantined seeds mean the printed numbers rest on fewer runs than
+    requested, so the command still exits non-zero (distinct from the
+    total-failure code) for scripts to notice.
+    """
+    if failures:
+        seeds = sorted({f.seed for f in failures})
+        print(
+            f"warning: {len(seeds)} seed(s) quarantined after retries: "
+            f"{seeds}",
+            file=sys.stderr,
+        )
+        return EXIT_QUARANTINED
+    if degraded:
+        print(
+            "warning: kernel divergence detected — results recomputed on "
+            "the legacy engines (see the reproducer bundle)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_figure5(args: argparse.Namespace) -> int:
     if args.no_schedule_cache:
         configure_schedule_cache(enabled=False)
@@ -98,10 +132,17 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
         setup_kernel=_setup_kernel_of(args),
         use_schedule_cache=not args.no_schedule_cache,
         use_distributed=args.distributed,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        guard=args.guard,
+        chunk_timeout=args.chunk_timeout,
     )
     print(format_figure5(result))
     _print_cache_summary()
-    return 0
+    return _quarantine_exit(
+        [f for cell in result.cells for f in cell.failures],
+        degraded=any(cell.degraded for cell in result.cells),
+    )
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
@@ -197,6 +238,10 @@ def _make_scenario_runner(args: argparse.Namespace) -> ScenarioRunner:
         kernel=_kernel_of(args),
         setup_kernel=_setup_kernel_of(args),
         use_schedule_cache=not args.no_schedule_cache,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        guard=args.guard,
+        chunk_timeout=args.chunk_timeout,
     )
 
 
@@ -213,7 +258,10 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(payload)
     _print_cache_summary()
-    return 0
+    return _quarantine_exit(
+        outcome.failures,
+        degraded=outcome.guard is not None and outcome.guard.degraded,
+    )
 
 
 def _cmd_scenario_compare(args: argparse.Namespace) -> int:
@@ -222,7 +270,12 @@ def _cmd_scenario_compare(args: argparse.Namespace) -> int:
     outcomes = runner.compare(names, seeds=args.seeds, base_seed=args.seed)
     print(format_comparison(outcomes))
     _print_cache_summary()
-    return 0
+    return _quarantine_exit(
+        [f for outcome in outcomes for f in outcome.failures],
+        degraded=any(
+            o.guard is not None and o.guard.degraded for o in outcomes
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -259,6 +312,38 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical; for bisection)"
     )
 
+    def add_resilience_arguments(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--checkpoint",
+            type=Path,
+            default=None,
+            metavar="DIR",
+            help="persist completed per-seed results under DIR so an "
+            "interrupted sweep can be resumed",
+        )
+        cmd.add_argument(
+            "--resume",
+            action="store_true",
+            help="reuse results already in the --checkpoint store instead "
+            "of clearing it (bit-identical to an uninterrupted sweep)",
+        )
+        cmd.add_argument(
+            "--guard",
+            choices=sorted(GUARD_MODES),
+            default=None,
+            help="re-run a sample of each sweep on the legacy engines; on "
+            "divergence, write a reproducer bundle and degrade the sweep "
+            "to legacy",
+        )
+        cmd.add_argument(
+            "--chunk-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="seconds one parallel chunk may run before its worker is "
+            "presumed hung and the pool is rebuilt",
+        )
+
     fig = sub.add_parser("figure5", help="regenerate a Figure 5 panel")
     fig.add_argument("--search-distance", type=int, default=3, choices=(3, 5))
     fig.add_argument("--repeats", type=int, default=30)
@@ -278,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="build schedules with the full message-level setup protocols "
         "instead of the centralised pipeline",
     )
+    add_resilience_arguments(fig)
     fig.set_defaults(func=_cmd_figure5)
 
     over = sub.add_parser("overhead", help="measure SLP setup overhead")
@@ -336,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     scn_run.add_argument(
         "--out", type=Path, default=None, help="write the report to a file"
     )
+    add_resilience_arguments(scn_run)
     scn_run.set_defaults(func=_cmd_scenario_run)
 
     scn_cmp = scenario_sub.add_parser(
@@ -363,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--legacy-setup-kernel", action="store_true", help=legacy_setup_kernel_help
     )
     scn_cmp.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
+    add_resilience_arguments(scn_cmp)
     scn_cmp.set_defaults(func=_cmd_scenario_compare)
 
     show = sub.add_parser("show", help="visualise a refined schedule")
@@ -375,10 +463,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Exit codes: ``0`` success, ``EXIT_SWEEP_FAILED`` (3) when a sweep
+    produced no results at all, ``EXIT_QUARANTINED`` (4) when it
+    completed but had to quarantine failing seeds.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SweepExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SWEEP_FAILED
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution

@@ -63,6 +63,42 @@ class ConfigurationError(ReproError):
     """
 
 
+class SweepExecutionError(ReproError):
+    """Raised when a seed sweep cannot produce any usable results.
+
+    Supervised execution quarantines individual failing seeds and
+    completes the sweep with the survivors; this error is the
+    fail-loudly end of that spectrum — *no* seed survived (every chunk
+    crashed, hung past its timeout, or raised on every attempt).  The
+    offending seeds and the attempt count are carried as structured
+    attributes so tooling can report them without parsing the message.
+    """
+
+    def __init__(self, message: str, seeds=(), attempts: int = 0) -> None:
+        super().__init__(message)
+        self.seeds = tuple(seeds)
+        self.attempts = attempts
+
+
+def sweep_failed(
+    owner: str, seeds, attempts: int, detail: str
+) -> SweepExecutionError:
+    """Build a :class:`SweepExecutionError` in the library's uniform
+    shape, naming the seeds that never completed and how hard the
+    supervisor tried::
+
+        raise sweep_failed("ParallelExperimentRunner", [3, 4], 3,
+                           "InjectedFault: poison")
+    """
+    listed = ", ".join(map(str, seeds))
+    return SweepExecutionError(
+        f"{owner}: sweep failed — seeds [{listed}] unrecovered after "
+        f"{attempts} attempt(s): {detail}",
+        seeds=seeds,
+        attempts=attempts,
+    )
+
+
 def invalid_field(
     owner: str, field: str, value: object, problem: str
 ) -> ConfigurationError:

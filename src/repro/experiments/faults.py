@@ -1,0 +1,202 @@
+"""Injectable fault points for chaos-testing the sweep engine.
+
+The resilience layer (:mod:`repro.experiments.resilience`) promises
+that a sweep survives crashed, hung or transiently failing workers.
+That promise is only testable if those failures can be *produced on
+demand*, deterministically, inside real pool workers — so this module
+defines a :class:`FaultPlan`: a declarative set of fault points keyed
+by seed, carried to worker processes through the environment (workers
+inherit ``os.environ`` under both fork and spawn start methods).
+
+Fault kinds
+-----------
+``crash_seeds``
+    The worker process calls ``os._exit`` before running the seed —
+    the hard failure mode that breaks the whole pool
+    (``BrokenProcessPool``).  Fires once per seed (see *once-only
+    faults* below) so the supervisor's respawn-and-retry can succeed.
+``hang_seeds``
+    The worker sleeps ``hang_seconds`` before running the seed,
+    simulating a wedged worker; the supervisor's chunk timeout is the
+    only thing that can recover.  Fires once per seed.
+``transient_seeds``
+    The worker raises :class:`InjectedFault` on the *first* attempt at
+    the seed and succeeds on retries — the retry/backoff happy path.
+``poison_seeds``
+    The worker raises :class:`InjectedFault` on *every* attempt — the
+    chunk-splitting/quarantine path.
+``pickle_seeds``
+    The parent-side submit of any chunk containing the seed raises
+    :class:`InjectedFault` once, simulating a chunk that fails to
+    pickle (the failure happens before a worker ever sees it).
+``perturb_seeds``
+    The run *completes* but its result is corrupted (``messages_sent``
+    off by one) — only when the run used a non-legacy kernel.  This is
+    the drill target for the runtime kernel-divergence guard: a
+    silently wrong fast kernel that only a legacy re-run can expose.
+
+Once-only faults (crash, hang, transient, pickle) coordinate across
+processes and retries through marker files in ``marker_dir``: the
+first process to atomically create ``<kind>-<seed>`` wins the right to
+fire the fault, every later attempt proceeds normally.  ``poison`` and
+``perturb`` need no markers — they fire unconditionally.
+
+Nothing in this module runs unless a plan is active: the hot paths
+call :func:`active_fault_plan`, which is a cached environment lookup
+returning ``None`` in production.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Tuple
+
+#: Environment variable carrying the active plan (JSON) to workers.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by an active :class:`FaultPlan`.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults stand in for arbitrary third-party failures (a segfaulting
+    extension, a flaky filesystem), which the supervisor must handle
+    without recognising them.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, environment-carried set of fault injections.
+
+    Activate with :meth:`activated` (a context manager) *before* the
+    worker pool is created so child processes inherit the environment;
+    the sweep engine's fault points then consult
+    :func:`active_fault_plan` in whichever process they run.
+    """
+
+    crash_seeds: Tuple[int, ...] = ()
+    hang_seeds: Tuple[int, ...] = ()
+    transient_seeds: Tuple[int, ...] = ()
+    poison_seeds: Tuple[int, ...] = ()
+    pickle_seeds: Tuple[int, ...] = ()
+    perturb_seeds: Tuple[int, ...] = ()
+    hang_seconds: float = 30.0
+    marker_dir: str = ""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "crash_seeds",
+            "hang_seeds",
+            "transient_seeds",
+            "pickle_seeds",
+        ):
+            if getattr(self, name) and not self.marker_dir:
+                raise ValueError(
+                    f"FaultPlan.{name} needs marker_dir: once-only faults "
+                    "coordinate across processes through marker files"
+                )
+
+    # ------------------------------------------------------------------
+    # Environment round trip
+    # ------------------------------------------------------------------
+    def to_env(self) -> str:
+        """Serialise the plan for :data:`FAULT_PLAN_ENV`."""
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_env(cls, raw: str) -> "FaultPlan":
+        """Rebuild a plan from its :meth:`to_env` serialisation."""
+        payload = json.loads(raw)
+        for name, value in list(payload.items()):
+            if isinstance(value, list):
+                payload[name] = tuple(value)
+        return cls(**payload)
+
+    @contextmanager
+    def activated(self) -> Iterator["FaultPlan"]:
+        """Install the plan in this process's environment (and thus in
+        every worker spawned while active); restore the prior state on
+        exit."""
+        previous = os.environ.get(FAULT_PLAN_ENV)
+        os.environ[FAULT_PLAN_ENV] = self.to_env()
+        try:
+            yield self
+        finally:
+            if previous is None:
+                os.environ.pop(FAULT_PLAN_ENV, None)
+            else:
+                os.environ[FAULT_PLAN_ENV] = previous
+
+    # ------------------------------------------------------------------
+    # Fault points
+    # ------------------------------------------------------------------
+    def _once(self, kind: str, seed: int) -> bool:
+        """Atomically claim the one firing of a once-only fault."""
+        marker = Path(self.marker_dir) / f"{kind}-{seed}"
+        try:
+            marker.touch(exist_ok=False)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False
+        return True
+
+    def before_seed(self, seed: int) -> None:
+        """Worker-side fault point, called before each seed runs."""
+        if seed in self.crash_seeds and self._once("crash", seed):
+            os._exit(17)
+        if seed in self.hang_seeds and self._once("hang", seed):
+            time.sleep(self.hang_seconds)
+        if seed in self.transient_seeds and self._once("transient", seed):
+            raise InjectedFault(f"injected transient failure for seed {seed}")
+        if seed in self.poison_seeds:
+            raise InjectedFault(f"injected poison failure for seed {seed}")
+
+    def before_submit(self, seeds: Sequence[int]) -> None:
+        """Parent-side fault point, called before a chunk is submitted
+        (simulates the chunk failing to pickle)."""
+        for seed in seeds:
+            if seed in self.pickle_seeds and self._once("pickle", seed):
+                raise InjectedFault(
+                    f"injected chunk-pickle failure for seed {seed}"
+                )
+
+    def on_result(self, config: object, seed: int, result):
+        """Corrupt a completed non-legacy-kernel result (guard drills).
+
+        The perturbation is deliberately subtle — ``messages_sent`` off
+        by one — the kind of wrong answer only a differential re-run
+        against the legacy engine can catch.
+        """
+        if seed not in self.perturb_seeds:
+            return result
+        if getattr(config, "kernel", None) == "legacy":
+            return result
+        return replace(result, messages_sent=result.messages_sent + 1)
+
+
+#: Cache of the last parsed plan, keyed by the raw environment string
+#: so repeated lookups in a worker's seed loop stay one dict get.
+_PARSED: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The process's active :class:`FaultPlan`, or ``None`` (the
+    production answer — one environment lookup, no parsing)."""
+    global _PARSED
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if raw is None:
+        return None
+    cached_raw, cached_plan = _PARSED
+    if raw == cached_raw:
+        return cached_plan
+    plan = FaultPlan.from_env(raw)
+    _PARSED = (raw, plan)
+    return plan

@@ -16,12 +16,15 @@ from typing import Dict, Optional, Sequence, Tuple
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import ExitStack
 
+from pathlib import Path
+
 from ..attacker import AttackerSpec
 from ..errors import ConfigurationError
 from ..metrics import CaptureStats
 from ..topology import paper_grid
 from .config import PAPER, PAPER_SIZES, PaperParameters
 from .parallel import ParallelExperimentRunner, resolve_workers
+from .resilience import FailedRun, SweepCheckpoint
 from .runner import PROTECTIONLESS, SLP, ExperimentConfig, ExperimentRunner
 
 #: Paper reference values read off Figure 5 (approximate, for the
@@ -34,11 +37,18 @@ PAPER_FIGURE5_REFERENCE = {
 
 @dataclass(frozen=True)
 class Figure5Cell:
-    """One (size, algorithm-pair) measurement of the figure."""
+    """One (size, algorithm-pair) measurement of the figure.
+
+    ``failures`` is empty unless supervised execution quarantined seeds
+    in either sweep of the cell; ``degraded`` records that the
+    divergence guard re-ran the cell on the legacy engines.
+    """
 
     size: int
     protectionless: CaptureStats
     slp: CaptureStats
+    failures: Tuple[FailedRun, ...] = ()
+    degraded: bool = False
 
     @property
     def reduction(self) -> float:
@@ -83,6 +93,10 @@ def run_figure5(
     setup_kernel: Optional[str] = None,
     use_schedule_cache: bool = True,
     use_distributed: bool = False,
+    checkpoint: Optional[Path] = None,
+    resume: bool = False,
+    guard: Optional[str] = None,
+    chunk_timeout: Optional[float] = None,
 ) -> Figure5Result:
     """Regenerate one panel of Figure 5.
 
@@ -95,8 +109,20 @@ def run_figure5(
     two panels share one schedule per (size, seed) through the cache.
     ``use_distributed`` builds every schedule with the full
     message-level setup protocols instead of the centralised pipeline.
+
+    ``checkpoint`` names a directory where completed per-seed results
+    are persisted as they land; with ``resume=True`` an interrupted
+    panel restarts only the missing seeds and reproduces the
+    uninterrupted panel bit-for-bit.  ``guard="differential"`` audits a
+    sample of every sweep against the legacy engines and degrades a
+    diverging cell to them; ``chunk_timeout`` bounds how long one
+    parallel chunk may run before its worker is presumed hung.
     """
     workers = resolve_workers(workers)
+    store = SweepCheckpoint(checkpoint) if checkpoint is not None else None
+    bundle_dir = (
+        str(Path(checkpoint) / "divergence") if checkpoint is not None else "divergence"
+    )
     cells = []
     with ExitStack() as stack:
         # One pool serves every size and both algorithms: pool start-up
@@ -110,9 +136,12 @@ def run_figure5(
                 runner: ExperimentRunner = ExperimentRunner(topology)
             else:
                 runner = ParallelExperimentRunner(
-                    topology, workers=workers, executor=pool
+                    topology,
+                    workers=workers,
+                    executor=pool,
+                    chunk_timeout=chunk_timeout,
                 )
-            base = runner.run(
+            base = runner.run_resilient(
                 ExperimentConfig(
                     algorithm=PROTECTIONLESS,
                     repeats=repeats,
@@ -124,9 +153,13 @@ def run_figure5(
                     setup_kernel=setup_kernel,
                     use_schedule_cache=use_schedule_cache,
                     use_distributed=use_distributed,
-                )
+                ),
+                checkpoint=store,
+                resume=resume,
+                guard=guard,
+                bundle_dir=bundle_dir,
             )
-            slp = runner.run(
+            slp = runner.run_resilient(
                 ExperimentConfig(
                     algorithm=SLP,
                     search_distance=search_distance,
@@ -139,10 +172,23 @@ def run_figure5(
                     setup_kernel=setup_kernel,
                     use_schedule_cache=use_schedule_cache,
                     use_distributed=use_distributed,
-                )
+                ),
+                checkpoint=store,
+                resume=resume,
+                guard=guard,
+                bundle_dir=bundle_dir,
             )
             cells.append(
-                Figure5Cell(size=size, protectionless=base.stats, slp=slp.stats)
+                Figure5Cell(
+                    size=size,
+                    protectionless=base.stats,
+                    slp=slp.stats,
+                    failures=tuple(base.failures) + tuple(slp.failures),
+                    degraded=any(
+                        outcome.guard is not None and outcome.guard.degraded
+                        for outcome in (base, slp)
+                    ),
+                )
             )
     return Figure5Result(
         search_distance=search_distance,

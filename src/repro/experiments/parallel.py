@@ -13,6 +13,14 @@ sweep of the same configuration.
 Seeds are dispatched in contiguous chunks (several runs per task) to
 amortise pickling and scheduling overhead; chunk boundaries cannot
 affect results because every run re-seeds from scratch.
+
+Execution is *supervised* (see :mod:`repro.experiments.resilience`):
+each chunk is an individually watched future with optional timeout,
+retries with deterministic backoff, pool respawn after worker death,
+and poison-seed isolation via chunk splitting — a failing worker
+quarantines at most its own seeds instead of aborting the sweep, and a
+sweep in which nothing fails is byte-identical to unsupervised
+execution.
 """
 
 from __future__ import annotations
@@ -24,9 +32,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..app import OperationalResult
 from ..core import Schedule
 from ..errors import ConfigurationError, invalid_field
-from ..metrics import capture_stats
 from ..topology import Topology
-from .runner import ExperimentConfig, ExperimentOutcome, ExperimentRunner
+from .faults import active_fault_plan
+from .resilience import FailedRun, RetryPolicy, WorkerSupervisor
+from .runner import ExperimentConfig, ExperimentRunner
 from .schedule_cache import (
     ScheduleCache,
     default_schedule_cache,
@@ -35,8 +44,14 @@ from .schedule_cache import (
 
 
 def default_workers() -> int:
-    """The worker count used when none is given: one per CPU."""
-    return max(os.cpu_count() or 1, 1)
+    """The worker count used when none is given: one per CPU.
+
+    Robust to platforms where ``os.cpu_count()`` answers ``None``
+    (POSIX permits it): the fallback is one worker, never a crash or a
+    zero-sized pool.
+    """
+    count = os.cpu_count()
+    return max(count, 1) if count else 1
 
 
 #: Dispatch threshold for :func:`plan_workers`: a sweep whose total work
@@ -138,8 +153,15 @@ def _run_seed_chunk(
     """
     if schedules:
         default_schedule_cache().preload(schedules)
+    plan = active_fault_plan()
     runner = ExperimentRunner(topology)
-    return [runner.run_once(config, seed) for seed in seeds]
+    results = []
+    for seed in seeds:
+        if plan is not None:
+            # Chaos-only fault point (crash/hang/transient/poison).
+            plan.before_seed(seed)
+        results.append(runner.run_once(config, seed))
+    return results
 
 
 class ParallelExperimentRunner(ExperimentRunner):
@@ -167,6 +189,14 @@ class ParallelExperimentRunner(ExperimentRunner):
         As on :class:`ExperimentRunner` — the parent-side cache
         consulted by ``build_schedule`` *and* mined for already-built
         schedules to ship with each worker chunk.
+    retry_policy:
+        Backoff schedule for supervised retries of failed or hung
+        chunks (default: three attempts, 50 ms base delay).  See
+        :class:`~repro.experiments.resilience.RetryPolicy`.
+    chunk_timeout:
+        Seconds a chunk future may run before the pool is presumed
+        hung, killed and respawned (``None``, the default, disables the
+        timeout — a crash still recovers, a genuine hang does not).
     """
 
     def __init__(
@@ -176,6 +206,8 @@ class ParallelExperimentRunner(ExperimentRunner):
         chunks_per_worker: int = 4,
         executor: Optional[ProcessPoolExecutor] = None,
         schedule_cache: Optional["ScheduleCache"] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        chunk_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(topology, schedule_cache=schedule_cache)
         resolved = default_workers() if not workers else workers
@@ -189,10 +221,17 @@ class ParallelExperimentRunner(ExperimentRunner):
                 "ParallelExperimentRunner", "chunks_per_worker", chunks_per_worker,
                 "chunks_per_worker must be at least one",
             )
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise invalid_field(
+                "ParallelExperimentRunner", "chunk_timeout", chunk_timeout,
+                "a timeout must be positive (None disables it)",
+            )
         self._workers = resolved
         self._chunks_per_worker = chunks_per_worker
         self._executor: Optional[ProcessPoolExecutor] = None
         self._external_executor = executor
+        self._retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._chunk_timeout = chunk_timeout
 
     @property
     def workers(self) -> int:
@@ -234,45 +273,102 @@ class ParallelExperimentRunner(ExperimentRunner):
             self._executor = ProcessPoolExecutor(max_workers=self._workers)
         return self._executor
 
-    def close(self) -> None:
+    @staticmethod
+    def _terminate_processes(executor: ProcessPoolExecutor) -> None:
+        """Forcibly end a pool's worker processes (the only way to
+        reclaim a hung worker; ``shutdown`` alone would wait forever)."""
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):  # already gone
+                pass
+
+    def _abandon_pool(self, kill: bool = False) -> None:
+        """Discard the current pool so the next submit gets a fresh one
+        (the supervisor's ``respawn`` hook).
+
+        A broken or hung *external* pool cannot be recovered here — it
+        belongs to the caller, who still shuts it down — so the runner
+        simply stops submitting to it and falls back to an owned
+        replacement.  ``kill=True`` additionally terminates an owned
+        pool's processes before the non-blocking shutdown.
+        """
+        if self._external_executor is not None:
+            self._external_executor = None
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            if kill:
+                self._terminate_processes(executor)
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def close(self, kill: bool = False) -> None:
         """Shut the owned worker pool down (an external ``executor`` is
         left running).  Idempotent; the runner may be reused afterwards
-        (a fresh pool is spawned on demand)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        (a fresh pool is spawned on demand).  ``kill=True`` cancels
+        pending futures, terminates the worker processes and does not
+        wait — the interrupt path, which must never orphan workers
+        behind a blocking shutdown."""
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            if kill:
+                self._terminate_processes(executor)
+            executor.shutdown(wait=not kill, cancel_futures=True)
 
     def __enter__(self) -> "ParallelExperimentRunner":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-    def run(self, config: ExperimentConfig) -> ExperimentOutcome:
-        """Run all repeats across the pool and aggregate in seed order."""
-        seeds = [config.base_seed + i for i in range(config.repeats)]
-        if self._workers == 1 or len(seeds) == 1:
-            return super().run(config)
-        chunks = seed_chunks(seeds, self._workers * self._chunks_per_worker)
-        executor = self._ensure_executor()
-        payloads = [self._cached_schedules_for(config, chunk) for chunk in chunks]
-        results: List[OperationalResult] = []
-        # map() yields in submission order; chunks are contiguous, so the
-        # flattened results are exactly the serial seed order.
-        for chunk_results in executor.map(
-            _run_seed_chunk,
-            (self._topology,) * len(chunks),
-            (config,) * len(chunks),
-            chunks,
-            payloads,
-        ):
-            results.extend(chunk_results)
-        return ExperimentOutcome(
-            config=config,
-            topology_name=self._topology.name,
-            results=tuple(results),
-            stats=capture_stats(results),
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        # On KeyboardInterrupt (or interpreter teardown via SystemExit)
+        # a graceful shutdown would block on in-flight chunks and leave
+        # workers orphaned if the user interrupts again; kill instead.
+        interrupted = isinstance(exc_type, type) and issubclass(
+            exc_type, (KeyboardInterrupt, SystemExit)
         )
+        self.close(kill=interrupted)
+
+    def _submit_chunk(self, config: ExperimentConfig, seeds: Tuple[int, ...]):
+        """Dispatch one chunk to the current pool (the supervisor's
+        ``submit`` hook), shipping any already-built schedules."""
+        payload = self._cached_schedules_for(config, seeds)
+        return self._ensure_executor().submit(
+            _run_seed_chunk, self._topology, config, seeds, payload
+        )
+
+    def _execute(
+        self,
+        config: ExperimentConfig,
+        seeds: Sequence[int],
+        on_result=None,
+    ) -> Tuple[Dict[int, OperationalResult], Tuple[FailedRun, ...]]:
+        """Supervised pool execution of a seed sweep.
+
+        Chunks run as individually supervised futures (timeout, retry
+        with backoff, pool respawn, poison-seed isolation — see
+        :class:`~repro.experiments.resilience.WorkerSupervisor`);
+        results are keyed by seed, so the reassembled sweep is
+        bit-identical to a serial one whenever nothing fails.
+        """
+        if self._workers == 1 or len(seeds) <= 1:
+            return super()._execute(config, seeds, on_result)
+        chunks = seed_chunks(list(seeds), self._workers * self._chunks_per_worker)
+        supervisor = WorkerSupervisor(
+            submit=lambda chunk: self._submit_chunk(config, chunk),
+            respawn=self._abandon_pool,
+            retry=self._retry_policy,
+            chunk_timeout=self._chunk_timeout,
+            on_result=on_result,
+        )
+        try:
+            return supervisor.execute(chunks)
+        except BaseException:
+            # KeyboardInterrupt (or any other escape) mid-sweep: tear
+            # the pool down hard rather than leave workers running a
+            # sweep nobody will collect.
+            self.close(kill=True)
+            raise
 
 
 def resolve_workers(workers: Optional[int]) -> Optional[int]:
@@ -286,6 +382,8 @@ def make_runner(
     workers: Optional[int] = None,
     repeats: Optional[int] = None,
     force_parallel: bool = False,
+    retry_policy: Optional[RetryPolicy] = None,
+    chunk_timeout: Optional[float] = None,
 ) -> ExperimentRunner:
     """Build the right runner for a worker count.
 
@@ -303,10 +401,18 @@ def make_runner(
     sweep too small to amortise dispatch); ``force_parallel=True``
     bypasses that policy and honours the requested count verbatim.
     Results are bit-identical whichever engine is picked.
+    ``retry_policy`` and ``chunk_timeout`` configure the parallel
+    engine's supervision (ignored by the serial engine, which has no
+    workers to lose).
     """
     effective = plan_workers(
         workers, repeats=repeats, topology=topology, force_parallel=force_parallel
     )
     if effective <= 1:
         return ExperimentRunner(topology)
-    return ParallelExperimentRunner(topology, workers=effective)
+    return ParallelExperimentRunner(
+        topology,
+        workers=effective,
+        retry_policy=retry_policy,
+        chunk_timeout=chunk_timeout,
+    )

@@ -16,7 +16,7 @@ full message-level setup instead, which the examples demonstrate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..app import (
     KERNELS,
@@ -29,7 +29,7 @@ from ..attacker import AttackerSpec
 from ..core import Schedule
 from ..das import centralized_das_schedule, run_das_setup
 from ..das.protocol import resolve_setup_kernel
-from ..errors import invalid_field
+from ..errors import invalid_field, sweep_failed
 from ..metrics import CaptureStats, capture_stats
 from ..simulator import CasinoLabNoise, NoiseModel
 from ..slp import (
@@ -40,6 +40,14 @@ from ..slp import (
 )
 from ..topology import Topology
 from .config import PAPER, PaperParameters
+from .faults import active_fault_plan
+from .resilience import (
+    GUARD_MODES,
+    FailedRun,
+    GuardReport,
+    SweepCheckpoint,
+    apply_divergence_guard,
+)
 from .schedule_cache import (
     ScheduleCache,
     default_schedule_cache,
@@ -188,12 +196,20 @@ class ExperimentConfig:
 
 @dataclass(frozen=True)
 class ExperimentOutcome:
-    """All runs of one experiment cell plus their aggregation."""
+    """All runs of one experiment cell plus their aggregation.
+
+    ``failures`` is empty unless supervised execution had to quarantine
+    seeds (see :mod:`repro.experiments.resilience`); ``results``/
+    ``stats`` then cover the surviving seeds only, still in seed order.
+    ``guard`` is set when a kernel-divergence guard audited the sweep.
+    """
 
     config: ExperimentConfig
     topology_name: str
     results: Sequence[OperationalResult]
     stats: CaptureStats
+    failures: Tuple[FailedRun, ...] = ()
+    guard: Optional[GuardReport] = None
 
 
 class ExperimentRunner:
@@ -328,7 +344,7 @@ class ExperimentRunner:
     def run_once(self, config: ExperimentConfig, seed: int) -> OperationalResult:
         """Build a schedule and run the operational phase once."""
         schedule = self.build_schedule(config, seed)
-        return run_operational_phase(
+        result = run_operational_phase(
             self._topology,
             schedule,
             attacker=config.attacker,
@@ -341,15 +357,125 @@ class ExperimentRunner:
             perturbations=config.perturbations,
             kernel=config.kernel,
         )
+        plan = active_fault_plan()
+        if plan is not None:
+            # Chaos-only hook (one env lookup in production): lets the
+            # fault harness corrupt a fast-kernel result so the
+            # divergence guard has something real to catch.
+            result = plan.on_result(config, seed, result)
+        return result
 
-    def run(self, config: ExperimentConfig) -> ExperimentOutcome:
-        """Run all repeats and aggregate."""
-        results: List[OperationalResult] = []
-        for i in range(config.repeats):
-            results.append(self.run_once(config, config.base_seed + i))
+    def _execute(
+        self,
+        config: ExperimentConfig,
+        seeds: Sequence[int],
+        on_result: Optional[Callable[[int, OperationalResult], None]] = None,
+    ) -> Tuple[Dict[int, OperationalResult], Tuple[FailedRun, ...]]:
+        """Run ``seeds`` and return results keyed by seed plus any
+        quarantine records.  The serial engine runs in-process with no
+        retry machinery (a failure here is a real bug, not a worker
+        casualty); the parallel runner overrides this with supervised
+        pool execution.  ``on_result`` fires after each completed seed
+        (the checkpoint store's append hook)."""
+        results: Dict[int, OperationalResult] = {}
+        for seed in seeds:
+            result = self.run_once(config, seed)
+            results[seed] = result
+            if on_result is not None:
+                on_result(seed, result)
+        return results, ()
+
+    def _outcome(
+        self,
+        config: ExperimentConfig,
+        seeds: Sequence[int],
+        results_by_seed: Dict[int, OperationalResult],
+        failures: Tuple[FailedRun, ...],
+    ) -> ExperimentOutcome:
+        """Assemble surviving results (in seed order) into an outcome;
+        fail loudly when nothing survived."""
+        results = tuple(results_by_seed[s] for s in seeds if s in results_by_seed)
+        if not results:
+            raise sweep_failed(
+                type(self).__name__,
+                seeds=[f.seed for f in failures] or list(seeds),
+                attempts=max((f.attempts for f in failures), default=0),
+                detail=failures[0].error if failures else "no seeds executed",
+            )
         return ExperimentOutcome(
             config=config,
             topology_name=self._topology.name,
-            results=tuple(results),
+            results=results,
             stats=capture_stats(results),
+            failures=failures,
         )
+
+    def run(self, config: ExperimentConfig) -> ExperimentOutcome:
+        """Run all repeats and aggregate."""
+        seeds = [config.base_seed + i for i in range(config.repeats)]
+        results_by_seed, failures = self._execute(config, seeds)
+        return self._outcome(config, seeds, results_by_seed, failures)
+
+    def run_checkpointed(
+        self,
+        config: ExperimentConfig,
+        checkpoint: SweepCheckpoint,
+        resume: bool = True,
+    ) -> ExperimentOutcome:
+        """Run the sweep through an on-disk checkpoint store.
+
+        Completed seeds are appended to the store as they finish; with
+        ``resume=True`` seeds already on record are not re-run, and the
+        merged outcome is bit-identical to an uninterrupted sweep (each
+        run re-seeds from scratch, so a result cannot depend on which
+        process produced it or when).  ``resume=False`` discards any
+        prior record first.
+        """
+        key = checkpoint.key_for(self._topology, config)
+        if not resume:
+            checkpoint.clear(key)
+        done = checkpoint.load(key) if resume else {}
+        seeds = [config.base_seed + i for i in range(config.repeats)]
+        missing = [s for s in seeds if s not in done]
+        fresh, failures = self._execute(
+            config,
+            missing,
+            on_result=lambda seed, result: checkpoint.append(key, seed, result),
+        )
+        merged = {s: done[s] for s in seeds if s in done}
+        merged.update(fresh)
+        return self._outcome(config, seeds, merged, failures)
+
+    def run_resilient(
+        self,
+        config: ExperimentConfig,
+        checkpoint: Optional[SweepCheckpoint] = None,
+        resume: bool = False,
+        guard: Optional[str] = None,
+        guard_sample: int = 3,
+        bundle_dir: str = "divergence",
+    ) -> ExperimentOutcome:
+        """The fault-tolerance front door: checkpointing and the
+        kernel-divergence guard composed over :meth:`run`.
+
+        With every knob at its default this is exactly :meth:`run`.
+        ``guard="differential"`` re-runs ``guard_sample`` of the
+        sweep's seeds on the legacy engines after the sweep; a mismatch
+        writes a reproducer bundle under ``bundle_dir`` and degrades
+        the whole sweep to the legacy kernel (see
+        :func:`~repro.experiments.resilience.apply_divergence_guard`).
+        """
+        if guard is not None and guard not in GUARD_MODES:
+            raise invalid_field(
+                "ExperimentRunner", "guard", guard,
+                f"pick one of {GUARD_MODES} (or None)",
+            )
+        if checkpoint is not None:
+            outcome = self.run_checkpointed(config, checkpoint, resume=resume)
+        else:
+            outcome = self.run(config)
+        if guard is not None:
+            outcome = apply_divergence_guard(
+                self, config, outcome, sample=guard_sample, bundle_dir=bundle_dir
+            )
+        return outcome

@@ -19,10 +19,18 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, replace
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..app import OperationalResult
-from ..experiments import ExperimentConfig, make_runner, plan_workers
+from ..experiments import (
+    ExperimentConfig,
+    FailedRun,
+    GuardReport,
+    SweepCheckpoint,
+    make_runner,
+    plan_workers,
+)
 from ..metrics import (
     CaptureStats,
     FirstCaptureStats,
@@ -46,11 +54,28 @@ class ScenarioOutcome:
     stats: CaptureStats
     per_source: Tuple[PerSourceCapture, ...]
     first_capture: FirstCaptureStats
+    failures: Tuple[FailedRun, ...] = ()
+    guard: Optional[GuardReport] = None
 
     @property
     def source_pool(self) -> Tuple[NodeId, ...]:
         """The resolved source nodes of the sweep."""
         return self.spec.resolved_sources()
+
+    def run_seeds(self) -> Tuple[int, ...]:
+        """The seed of each entry of :attr:`results`, in order.
+
+        Normally ``base_seed .. base_seed + repeats - 1``; when
+        supervised execution quarantined seeds, those are missing from
+        the middle and ``results`` holds only the survivors.
+        """
+        failed = {f.seed for f in self.failures}
+        base = self.config.base_seed
+        return tuple(
+            seed
+            for seed in range(base, base + self.config.repeats)
+            if seed not in failed
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-ready report of the sweep.
@@ -61,7 +86,8 @@ class ScenarioOutcome:
         worker pool.
         """
         spec = self.spec
-        return {
+        seeds = self.run_seeds()
+        report: Dict[str, object] = {
             "scenario": spec.name,
             "description": spec.description,
             "topology": {
@@ -88,12 +114,22 @@ class ScenarioOutcome:
             "stats": asdict(self.stats),
             "per_source": [asdict(entry) for entry in self.per_source],
             "first_capture": asdict(self.first_capture),
-            "runs": [self._run_row(i, r) for i, r in enumerate(self.results)],
+            "runs": [
+                self._run_row(seed, result)
+                for seed, result in zip(seeds, self.results)
+            ],
         }
+        # Emitted only when present: a clean sweep's report stays
+        # byte-identical to what it was before supervision existed.
+        if self.failures:
+            report["failures"] = [asdict(failure) for failure in self.failures]
+        if self.guard is not None:
+            report["guard"] = asdict(self.guard)
+        return report
 
-    def _run_row(self, index: int, result: OperationalResult) -> Dict[str, object]:
+    def _run_row(self, seed: int, result: OperationalResult) -> Dict[str, object]:
         return {
-            "seed": self.config.base_seed + index,
+            "seed": seed,
             "captured": result.captured,
             "captured_source": result.captured_source,
             "capture_period": result.capture_period,
@@ -112,9 +148,9 @@ class ScenarioOutcome:
     def to_jsonl(self) -> str:
         """One JSON line per run, each carrying the scenario name."""
         lines = []
-        for index, result in enumerate(self.results):
+        for seed, result in zip(self.run_seeds(), self.results):
             row = {"scenario": self.spec.name}
-            row.update(self._run_row(index, result))
+            row.update(self._run_row(seed, result))
             lines.append(json.dumps(row, sort_keys=True))
         return "\n".join(lines) + "\n"
 
@@ -147,6 +183,22 @@ class ScenarioRunner:
     use_schedule_cache:
         Whether sweeps may reuse memoised schedules (identical either
         way); ``False`` is the CLI's ``--no-schedule-cache``.
+    checkpoint:
+        Directory for the per-seed result store (the CLI's
+        ``--checkpoint``): completed seeds are persisted as they land,
+        so an interrupted sweep can restart from where it stopped.
+    resume:
+        Reuse results already in the checkpoint store instead of
+        clearing it first (the CLI's ``--resume``).  The merged report
+        is bit-identical to an uninterrupted sweep.
+    guard:
+        ``"differential"`` re-runs a sample of each sweep's seeds on
+        the legacy engines; on divergence a reproducer bundle is
+        written and the whole sweep degrades to legacy.
+    chunk_timeout:
+        Seconds one parallel chunk may run before its worker is
+        presumed hung and the pool is rebuilt (``None`` = wait
+        forever).
     """
 
     def __init__(
@@ -156,12 +208,23 @@ class ScenarioRunner:
         kernel: Optional[str] = None,
         setup_kernel: Optional[str] = None,
         use_schedule_cache: bool = True,
+        checkpoint: Optional[Path] = None,
+        resume: bool = False,
+        guard: Optional[str] = None,
+        chunk_timeout: Optional[float] = None,
     ) -> None:
         self._workers = workers
         self._force_parallel = force_parallel
         self._kernel = kernel
         self._setup_kernel = setup_kernel
         self._use_schedule_cache = use_schedule_cache
+        self._checkpoint = SweepCheckpoint(checkpoint) if checkpoint else None
+        self._resume = resume
+        self._guard = guard
+        self._chunk_timeout = chunk_timeout
+        self._bundle_dir = (
+            str(Path(checkpoint) / "divergence") if checkpoint else "divergence"
+        )
 
     @property
     def workers(self) -> Optional[int]:
@@ -224,8 +287,15 @@ class ScenarioRunner:
             self._workers,
             repeats=config.repeats,
             force_parallel=self._force_parallel,
+            chunk_timeout=self._chunk_timeout,
         ) as runner:
-            outcome = runner.run(config)
+            outcome = runner.run_resilient(
+                config,
+                checkpoint=self._checkpoint,
+                resume=self._resume,
+                guard=self._guard,
+                bundle_dir=self._bundle_dir,
+            )
         return ScenarioOutcome(
             spec=spec,
             topology_name=outcome.topology_name,
@@ -234,6 +304,8 @@ class ScenarioRunner:
             stats=outcome.stats,
             per_source=per_source_capture_stats(outcome.results),
             first_capture=first_capture_stats(outcome.results),
+            failures=tuple(outcome.failures),
+            guard=outcome.guard,
         )
 
     def compare(
