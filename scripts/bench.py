@@ -33,6 +33,14 @@ Workloads
     :class:`~repro.scenarios.ScenarioRunner`, serial versus the worker
     policy's choice for the requested pool, verifying the two JSON
     reports are byte-identical.
+``telemetry``
+    The same serial sweep with the telemetry subsystem off (the gated
+    no-op path — this leg's throughput is the gated number, so a
+    regression in the disabled path is caught) and on under a
+    recording :class:`~repro.telemetry.TelemetrySession`, reporting
+    the instrumented leg's relative overhead and verifying results are
+    unchanged; ``--telemetry-out DIR`` exports the instrumented leg's
+    artifacts for CI to upload.
 
 Regression gate
 ---------------
@@ -377,7 +385,50 @@ def bench_trace_heavy(size: int) -> dict:
     }
 
 
-def workload_plan(workers: int, quick: bool) -> List[Tuple[str, Callable[[], dict]]]:
+def bench_telemetry(
+    size: int, repeats: int, out_dir: Optional[Path] = None
+) -> dict:
+    """Telemetry on/off A/B on one serial sweep.
+
+    Times the identical sweep twice: with the subsystem disabled (the
+    gated no-op path every normal run takes — ``runs_per_second_serial``
+    reports this leg, so the regression gate guards it) and under a
+    :class:`~repro.telemetry.TelemetrySession` recording spans and
+    metrics (``telemetry_overhead_fraction`` is the relative cost of
+    the instrumented leg).  A warm-up sweep fills the schedule cache
+    first so both legs are pure kernel work, and the two outcomes must
+    be equal — telemetry never touches result bytes.  With ``out_dir``
+    the instrumented leg also exports its artifacts there (CI uploads
+    them).
+    """
+    from repro.telemetry import TelemetrySession
+
+    topology = _grid(size)
+    config = ExperimentConfig(algorithm="protectionless", repeats=repeats)
+    runner = ExperimentRunner(topology)
+    runner.run(config)  # warm-up: pay the schedule builds once
+
+    off_s, off_outcome = _time(runner.run, config)
+
+    session = TelemetrySession(directory=out_dir, label="bench.telemetry")
+    with session:
+        on_s, on_outcome = _time(runner.run, config)
+
+    return {
+        "grid": f"{size}x{size}",
+        "repeats": repeats,
+        "seconds_off": round(off_s, 4),
+        "seconds_on": round(on_s, 4),
+        "runs_per_second_serial": round(repeats / off_s, 2),
+        "telemetry_overhead_fraction": round(on_s / off_s - 1.0, 4) if off_s else None,
+        "spans_recorded": len(session.tracer.spans()),
+        "results_identical": off_outcome.results == on_outcome.results,
+    }
+
+
+def workload_plan(
+    workers: int, quick: bool, telemetry_dir: Optional[Path] = None
+) -> List[Tuple[str, Callable[[], dict]]]:
     """The suite as an ordered (name, thunk) list, shared by the timed
     run and the profiler."""
     if quick:
@@ -388,6 +439,7 @@ def workload_plan(workers: int, quick: bool) -> List[Tuple[str, Callable[[], dic
             ("das_dissem15", lambda: bench_das_dissem(15, setup_periods=20)),
             ("trace_heavy", lambda: bench_trace_heavy(7)),
             ("scenario", lambda: bench_scenario("two-sources", repeats=4, workers=workers)),
+            ("telemetry", lambda: bench_telemetry(7, repeats=4, out_dir=telemetry_dir)),
         ]
     return [
         ("sweep11", lambda: bench_sweep(11, repeats=30, workers=workers)),
@@ -398,10 +450,13 @@ def workload_plan(workers: int, quick: bool) -> List[Tuple[str, Callable[[], dic
         ("trace_heavy", lambda: bench_trace_heavy(11)),
         ("scenario", lambda: bench_scenario("two-sources", repeats=20, workers=workers)),
         ("scenario_churn", lambda: bench_scenario("churn-10pct", repeats=20, workers=workers)),
+        ("telemetry", lambda: bench_telemetry(15, repeats=20, out_dir=telemetry_dir)),
     ]
 
 
-def run_suite(workers: int, quick: bool) -> dict:
+def run_suite(
+    workers: int, quick: bool, telemetry_dir: Optional[Path] = None
+) -> dict:
     suite: dict = {
         "meta": {
             "date": time.strftime("%Y-%m-%d %H:%M:%S"),
@@ -413,7 +468,7 @@ def run_suite(workers: int, quick: bool) -> dict:
         },
         "workloads": {},
     }
-    for name, thunk in workload_plan(workers, quick):
+    for name, thunk in workload_plan(workers, quick, telemetry_dir):
         suite["workloads"][name] = thunk()
     suite["meta"]["schedule_cache"] = default_schedule_cache().stats()
     return suite
@@ -632,6 +687,14 @@ def main(argv=None) -> int:
         help="run the supervised-execution chaos drill instead of the "
         "timing suite (no BENCH json, no gate)",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="export the telemetry workload's spans.jsonl/trace.json/"
+        "metrics.json under DIR (CI uploads them as artifacts)",
+    )
     args = parser.parse_args(argv)
 
     if args.chaos:
@@ -641,7 +704,11 @@ def main(argv=None) -> int:
         suite = profile_suite(args.workers, args.quick, ARTIFACTS)
         print(f"wrote hotspot tables to {ARTIFACTS}", file=sys.stderr)
     else:
-        suite = run_suite(workers=args.workers, quick=args.quick)
+        suite = run_suite(
+            workers=args.workers,
+            quick=args.quick,
+            telemetry_dir=args.telemetry_out,
+        )
 
     failures = [
         name

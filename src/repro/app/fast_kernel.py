@@ -59,6 +59,7 @@ from ..attacker.decision import HeardMessage
 from ..mac import TdmaFrame
 from ..simulator import PERIOD_START, Simulator
 from ..simulator import trace as trace_kinds
+from ..telemetry import active_tracer
 from ..topology import NodeId
 from .convergecast import ConvergecastNodeProcess
 from .dynamics import SourceTracker
@@ -297,9 +298,18 @@ def _run_table_lane(
     dissemination = frame.dissemination_duration
     sends = delivers_count = drops = hears = 0
     current_period = 0
+    # One open period span at a time: ended when the next period begins
+    # (or in the finally, covering every early return).  Disabled cost
+    # is one `is not None` check per period.
+    tracer = active_tracer()
+    period_span = None
     try:
         for period in range(periods_budget):
             current_period = period
+            if tracer is not None:
+                if period_span is not None:
+                    tracer.end(period_span)
+                period_span = tracer.begin("operational.period", period=period)
             boundary = period * period_length
             # Perturbation steps were queued before anything else, so at
             # a shared boundary timestamp the heap fires them first —
@@ -417,6 +427,8 @@ def _run_table_lane(
                 origins.add(nodes[low.bit_length() - 1])
                 mask ^= low
             processes[node].adopt_state(current_period, origins, sent[i])
+        if period_span is not None:
+            tracer.end(period_span)
 
 
 def _run_object_lane(
@@ -446,53 +458,65 @@ def _run_object_lane(
     deliver = radio.deliver
 
     current_period = 0
-    for period in range(periods_budget):
-        current_period = period
-        boundary = period * period_length
-        # Perturbation steps were queued before anything else, so at a
-        # shared boundary timestamp the heap fires them first — run()
-        # drains everything due, then advances the clock to the boundary.
-        sim.run(until=boundary)
+    # Same one-open-span discipline as the table lane: the finally
+    # closes the last period's span on every exit path.
+    tracer = active_tracer()
+    period_span = None
+    try:
+        for period in range(periods_budget):
+            current_period = period
+            if tracer is not None:
+                if period_span is not None:
+                    tracer.end(period_span)
+                period_span = tracer.begin("operational.period", period=period)
+            boundary = period * period_length
+            # Perturbation steps were queued before anything else, so at a
+            # shared boundary timestamp the heap fires them first — run()
+            # drains everything due, then advances the clock to the boundary.
+            sim.run(until=boundary)
 
-        # Period-start hooks, in the legacy driver's client order: the
-        # attacker's NextP, the source-plan advance (a rotation landing
-        # on the attacker is a capture), then every node process.
-        record(boundary, PERIOD_START, period=period)
-        agent.on_period_start(period, boundary)
-        active = tracker.advance(period)
-        if not agent.captured and agent.location in active:
-            agent.register_capture(agent.location, boundary)
-        for process in ordered_processes:
-            process.on_period_start(period, boundary)
-        if agent.captured:
-            # The legacy engine stops before any slot event of this
-            # period fires; the boundary hooks above already ran.
-            return current_period
+            # Period-start hooks, in the legacy driver's client order: the
+            # attacker's NextP, the source-plan advance (a rotation landing
+            # on the attacker is a capture), then every node process.
+            record(boundary, PERIOD_START, period=period)
+            agent.on_period_start(period, boundary)
+            active = tracker.advance(period)
+            if not agent.captured and agent.location in active:
+                agent.register_capture(agent.location, boundary)
+            for process in ordered_processes:
+                process.on_period_start(period, boundary)
+            if agent.captured:
+                # The legacy engine stops before any slot event of this
+                # period fires; the boundary hooks above already ran.
+                return current_period
 
-        # Matches TdmaFrame.slot_start's left-to-right float addition:
-        # (period_start + dissemination) + (slot - 1) * slot_duration.
-        slot_base = boundary + frame.dissemination_duration
-        for slot, offset, senders in timeline:
-            slot_time = slot_base + offset
-            pending: List[Tuple[NodeId, object, tuple]] = []
-            for node in senders:
-                message = processes[node].emit(period, slot)
-                if message is None:  # the sink, or a muted/dead node
-                    continue
-                surviving = transmit(node, message, slot_time)
-                if surviving:
-                    pending.append((node, message, surviving))
-                if agent.captured:
-                    # A capture ends the run after the event that caused
-                    # it: later senders of this slot never transmit and
-                    # buffered deliveries never fire, exactly as the
-                    # legacy loop stops with those events still queued.
-                    return current_period
-            if pending:
-                deliver_time = slot_time + delay
-                for sender, message, surviving in pending:
-                    deliver(sender, message, surviving, deliver_time)
-    return current_period
+            # Matches TdmaFrame.slot_start's left-to-right float addition:
+            # (period_start + dissemination) + (slot - 1) * slot_duration.
+            slot_base = boundary + frame.dissemination_duration
+            for slot, offset, senders in timeline:
+                slot_time = slot_base + offset
+                pending: List[Tuple[NodeId, object, tuple]] = []
+                for node in senders:
+                    message = processes[node].emit(period, slot)
+                    if message is None:  # the sink, or a muted/dead node
+                        continue
+                    surviving = transmit(node, message, slot_time)
+                    if surviving:
+                        pending.append((node, message, surviving))
+                    if agent.captured:
+                        # A capture ends the run after the event that caused
+                        # it: later senders of this slot never transmit and
+                        # buffered deliveries never fire, exactly as the
+                        # legacy loop stops with those events still queued.
+                        return current_period
+                if pending:
+                    deliver_time = slot_time + delay
+                    for sender, message, surviving in pending:
+                        deliver(sender, message, surviving, deliver_time)
+        return current_period
+    finally:
+        if period_span is not None:
+            tracer.end(period_span)
 
 
 def run_fast_kernel(

@@ -32,6 +32,7 @@ from ..simulator import (
     SEND,
     Simulator,
 )
+from ..telemetry import active_tracer, default_registry
 from ..topology import NodeId, Topology
 from .convergecast import ConvergecastNodeProcess
 from .dynamics import (
@@ -383,37 +384,54 @@ def run_operational_phase(
         FAST_KERNEL,
         OBJECT_KERNEL,
     ) and fast_kernel_supported(frame, sim.radio.propagation_delay)
-    if use_fast:
-        for period, action, nodes in lower_perturbations(
-            perturbations, periods_budget
-        ):
-            sim.schedule_at(frame.period_start(period), _apply_step, (action, nodes))
-        current_period = run_fast_kernel(
-            sim,
-            frame,
-            periods_budget,
-            processes,
-            agent,
-            tracker,
-            use_tables=resolved_kernel == FAST_KERNEL,
+    tracer = active_tracer()
+    phase_span = None
+    if tracer is not None:
+        phase_span = tracer.begin(
+            "operational.phase",
+            kernel=resolved_kernel,
+            fast=use_fast,
+            seed=seed,
         )
-    else:
-        driver = TdmaDriver(sim, frame)
-        for node, proc in processes.items():
-            driver.register(proc, proc.slot)
-        # The adapter and the source-plan client need their own client
-        # keys; negative identifiers never collide with a sensor node.
-        # The adapter sorts first so the attacker's NextP precedes the
-        # tracker advance (see _SourcePlanClient).
-        driver.register(_AttackerTdmaAdapter(-2, agent), None)
-        driver.register(_SourcePlanClient(-1, tracker, agent), None)
-        for period, action, nodes in lower_perturbations(
-            perturbations, periods_budget
-        ):
-            sim.schedule_at(frame.period_start(period), _apply_step, (action, nodes))
-        driver.start(stop_after=periods_budget)
-        sim.run(until=periods_budget * frame.period_length + 1e-9)
-        current_period = driver.current_period
+    try:
+        if use_fast:
+            for period, action, nodes in lower_perturbations(
+                perturbations, periods_budget
+            ):
+                sim.schedule_at(
+                    frame.period_start(period), _apply_step, (action, nodes)
+                )
+            current_period = run_fast_kernel(
+                sim,
+                frame,
+                periods_budget,
+                processes,
+                agent,
+                tracker,
+                use_tables=resolved_kernel == FAST_KERNEL,
+            )
+        else:
+            driver = TdmaDriver(sim, frame)
+            for node, proc in processes.items():
+                driver.register(proc, proc.slot)
+            # The adapter and the source-plan client need their own client
+            # keys; negative identifiers never collide with a sensor node.
+            # The adapter sorts first so the attacker's NextP precedes the
+            # tracker advance (see _SourcePlanClient).
+            driver.register(_AttackerTdmaAdapter(-2, agent), None)
+            driver.register(_SourcePlanClient(-1, tracker, agent), None)
+            for period, action, nodes in lower_perturbations(
+                perturbations, periods_budget
+            ):
+                sim.schedule_at(
+                    frame.period_start(period), _apply_step, (action, nodes)
+                )
+            driver.start(stop_after=periods_budget)
+            sim.run(until=periods_budget * frame.period_length + 1e-9)
+            current_period = driver.current_period
+    finally:
+        if phase_span is not None:
+            tracer.end(phase_span)
 
     periods_run = min(current_period + 1, periods_budget)
     sink_proc = processes[topology.sink]
@@ -431,6 +449,9 @@ def run_operational_phase(
 
     if trace_out is not None:
         trace_out.append(sim.trace)
+
+    if tracer is not None:
+        sim.trace.publish_counts(default_registry())
 
     return OperationalResult(
         captured=agent.captured,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 from typing import List, Optional
 
@@ -45,6 +46,7 @@ from .scenarios import (
     scenario_names,
 )
 from .slp import SlpParameters, build_slp_schedule
+from .telemetry import ProgressReporter, TelemetrySession
 from .topology import paper_grid
 from .verification import verify_schedule
 from .visualize import render_roles, render_slot_grid
@@ -88,10 +90,53 @@ def _setup_kernel_of(args: argparse.Namespace) -> Optional[str]:
     return "legacy" if getattr(args, "legacy_setup_kernel", False) else None
 
 
-def _print_cache_summary() -> None:
+def _status(args: argparse.Namespace, message: str) -> None:
+    """A status line on stderr, suppressed by ``--quiet``.
+
+    Every informational print of the CLI goes through here so the
+    stream stays machine-consumable: stdout carries only the report,
+    stderr only status — and ``--quiet`` silences the latter wholesale
+    (warnings about quarantined seeds stay visible regardless).
+    """
+    if not getattr(args, "quiet", False):
+        print(message, file=sys.stderr)
+
+
+def _print_cache_summary(args: argparse.Namespace) -> None:
     """One line of schedule-cache stats (this process's cache), so a
     perf regression can be bisected to the cache layer at a glance."""
-    print(default_schedule_cache().summary(), file=sys.stderr)
+    _status(args, default_schedule_cache().summary())
+
+
+def _telemetry_session(args: argparse.Namespace, label: str):
+    """The command's telemetry context: a :class:`TelemetrySession`
+    exporting to ``--telemetry DIR``, or a no-op context without the
+    flag (the zero-cost disabled path — output bytes are identical)."""
+    directory = getattr(args, "telemetry", None)
+    if directory is None:
+        return nullcontext(None)
+    return TelemetrySession(directory=directory, label=label)
+
+
+def _report_telemetry(args: argparse.Namespace) -> None:
+    """Tell the user where the telemetry artefacts landed."""
+    directory = getattr(args, "telemetry", None)
+    if directory is not None:
+        _status(
+            args,
+            f"telemetry written to {directory} "
+            "(spans.jsonl, trace.json, metrics.json)",
+        )
+
+
+def _progress_reporter(
+    args: argparse.Namespace, total: int, label: str
+) -> Optional[ProgressReporter]:
+    """A live progress reporter for ``total`` runs, or ``None`` under
+    ``--quiet`` (the reporter itself stays silent on non-TTY stderr)."""
+    if getattr(args, "quiet", False):
+        return None
+    return ProgressReporter(total=total, label=label)
 
 
 def _quarantine_exit(failures, degraded: bool = False) -> int:
@@ -121,24 +166,35 @@ def _quarantine_exit(failures, degraded: bool = False) -> int:
 def _cmd_figure5(args: argparse.Namespace) -> int:
     if args.no_schedule_cache:
         configure_schedule_cache(enabled=False)
-    result = run_figure5(
-        args.search_distance,
-        sizes=tuple(args.sizes),
-        repeats=args.repeats,
-        base_seed=args.seed,
-        noise=args.noise,
-        workers=args.workers,
-        kernel=_kernel_of(args),
-        setup_kernel=_setup_kernel_of(args),
-        use_schedule_cache=not args.no_schedule_cache,
-        use_distributed=args.distributed,
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-        guard=args.guard,
-        chunk_timeout=args.chunk_timeout,
-    )
+    with _telemetry_session(args, "cli.figure5"):
+        # Each size runs both algorithms over the same repeats.
+        reporter = _progress_reporter(
+            args, total=len(args.sizes) * 2 * args.repeats, label="figure5: "
+        )
+        try:
+            result = run_figure5(
+                args.search_distance,
+                sizes=tuple(args.sizes),
+                repeats=args.repeats,
+                base_seed=args.seed,
+                noise=args.noise,
+                workers=args.workers,
+                kernel=_kernel_of(args),
+                setup_kernel=_setup_kernel_of(args),
+                use_schedule_cache=not args.no_schedule_cache,
+                use_distributed=args.distributed,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                guard=args.guard,
+                chunk_timeout=args.chunk_timeout,
+                on_result=reporter.on_result if reporter is not None else None,
+            )
+        finally:
+            if reporter is not None:
+                reporter.finish()
     print(format_figure5(result))
-    _print_cache_summary()
+    _print_cache_summary(args)
+    _report_telemetry(args)
     return _quarantine_exit(
         [f for cell in result.cells for f in cell.failures],
         degraded=any(cell.degraded for cell in result.cells),
@@ -147,15 +203,17 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
     topology = paper_grid(args.size)
-    measurement = measure_setup_overhead(
-        topology,
-        seeds=range(args.seeds),
-        search_distance=args.search_distance,
-        setup_periods=args.setup_periods,
-        workers=args.workers,
-        setup_kernel=_setup_kernel_of(args),
-    )
+    with _telemetry_session(args, "cli.overhead"):
+        measurement = measure_setup_overhead(
+            topology,
+            seeds=range(args.seeds),
+            search_distance=args.search_distance,
+            setup_periods=args.setup_periods,
+            workers=args.workers,
+            setup_kernel=_setup_kernel_of(args),
+        )
     print(format_overhead(measurement))
+    _report_telemetry(args)
     return 0
 
 
@@ -242,22 +300,25 @@ def _make_scenario_runner(args: argparse.Namespace) -> ScenarioRunner:
         resume=args.resume,
         guard=args.guard,
         chunk_timeout=args.chunk_timeout,
+        progress=not getattr(args, "quiet", False),
     )
 
 
 def _cmd_scenario_run(args: argparse.Namespace) -> int:
     runner = _make_scenario_runner(args)
-    outcome = runner.run(args.name, seeds=args.seeds, base_seed=args.seed)
+    with _telemetry_session(args, "cli.scenario-run"):
+        outcome = runner.run(args.name, seeds=args.seeds, base_seed=args.seed)
     if args.jsonl:
         payload = outcome.to_jsonl()
     else:
         payload = outcome.to_json() + "\n"
     if args.out is not None:
         args.out.write_text(payload)
-        print(f"wrote {args.out}", file=sys.stderr)
+        _status(args, f"wrote {args.out}")
     else:
         sys.stdout.write(payload)
-    _print_cache_summary()
+    _print_cache_summary(args)
+    _report_telemetry(args)
     return _quarantine_exit(
         outcome.failures,
         degraded=outcome.guard is not None and outcome.guard.degraded,
@@ -267,9 +328,11 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
 def _cmd_scenario_compare(args: argparse.Namespace) -> int:
     names = args.names if args.names else scenario_names()
     runner = _make_scenario_runner(args)
-    outcomes = runner.compare(names, seeds=args.seeds, base_seed=args.seed)
+    with _telemetry_session(args, "cli.scenario-compare"):
+        outcomes = runner.compare(names, seeds=args.seeds, base_seed=args.seed)
     print(format_comparison(outcomes))
-    _print_cache_summary()
+    _print_cache_summary(args)
+    _report_telemetry(args)
     return _quarantine_exit(
         [f for outcome in outcomes for f in outcome.failures],
         degraded=any(
@@ -344,6 +407,24 @@ def build_parser() -> argparse.ArgumentParser:
             "presumed hung and the pool is rebuilt",
         )
 
+    def add_observability_arguments(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--telemetry",
+            type=Path,
+            default=None,
+            metavar="DIR",
+            help="record spans and metrics for this run and write "
+            "spans.jsonl, trace.json (Chrome trace-event format, loads "
+            "in Perfetto) and metrics.json under DIR; off by default "
+            "and output bytes are identical either way",
+        )
+        cmd.add_argument(
+            "--quiet",
+            action="store_true",
+            help="suppress status lines and live progress on stderr "
+            "(quarantine warnings stay visible)",
+        )
+
     fig = sub.add_parser("figure5", help="regenerate a Figure 5 panel")
     fig.add_argument("--search-distance", type=int, default=3, choices=(3, 5))
     fig.add_argument("--repeats", type=int, default=30)
@@ -364,6 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the centralised pipeline",
     )
     add_resilience_arguments(fig)
+    add_observability_arguments(fig)
     fig.set_defaults(func=_cmd_figure5)
 
     over = sub.add_parser("overhead", help="measure SLP setup overhead")
@@ -375,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
     over.add_argument(
         "--legacy-setup-kernel", action="store_true", help=legacy_setup_kernel_help
     )
+    add_observability_arguments(over)
     over.set_defaults(func=_cmd_overhead)
 
     ver = sub.add_parser("verify", help="run VerifySchedule (Algorithm 1)")
@@ -423,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, default=None, help="write the report to a file"
     )
     add_resilience_arguments(scn_run)
+    add_observability_arguments(scn_run)
     scn_run.set_defaults(func=_cmd_scenario_run)
 
     scn_cmp = scenario_sub.add_parser(
@@ -451,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scn_cmp.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
     add_resilience_arguments(scn_cmp)
+    add_observability_arguments(scn_cmp)
     scn_cmp.set_defaults(func=_cmd_scenario_compare)
 
     show = sub.add_parser("show", help="visualise a refined schedule")

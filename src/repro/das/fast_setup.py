@@ -69,6 +69,7 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import ProtocolError
 from ..simulator import PHASE, SLOT_ASSIGNED, SLOT_CHANGED, Simulator
 from ..simulator import trace as trace_kinds
+from ..telemetry import active_tracer
 from ..topology import NodeId, Topology
 from .messages import NodeInfo
 
@@ -633,6 +634,13 @@ def run_fast_setup(
     # ------------------------------------------------------------------
     # The run loop
     # ------------------------------------------------------------------
+    # Phase spans: `setup.phase1` covers neighbour discovery + DAS
+    # assignment, switching to `setup.phase23` at the startS round
+    # boundary (SLP runs only).  One open span; closed in the finally.
+    tracer = active_tracer()
+    phase_span = None
+    if tracer is not None:
+        phase_span = tracer.begin("setup.phase1", rounds=rounds, slp=slp)
     try:
         # The sink's Figure 2 `init`, fired by Process.start at t = 0.
         hop[sink_idx] = 0
@@ -646,6 +654,11 @@ def run_fast_setup(
         uniform = rng.uniform
         for rnd in range(rounds):
             state.rounds_run = rnd
+            if tracer is not None and slp and rnd == msp:
+                tracer.end(phase_span)
+                phase_span = tracer.begin(
+                    "setup.phase23", search_distance=search_distance
+                )
             # --- boundary: guarded actions + jitter draws, in the heap's
             # ROUND-event order (ascending node id, preserved round over
             # round because each firing re-schedules its own successor).
@@ -741,5 +754,7 @@ def run_fast_setup(
         trace.bump_many(trace_kinds.SEND, sends)
         trace.bump_many(trace_kinds.DELIVER, delivered)
         trace.bump_many(trace_kinds.DROP, drops)
+        if phase_span is not None:
+            tracer.end(phase_span)
 
     return state

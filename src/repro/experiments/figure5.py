@@ -97,6 +97,7 @@ def run_figure5(
     resume: bool = False,
     guard: Optional[str] = None,
     chunk_timeout: Optional[float] = None,
+    on_result=None,
 ) -> Figure5Result:
     """Regenerate one panel of Figure 5.
 
@@ -117,6 +118,8 @@ def run_figure5(
     sample of every sweep against the legacy engines and degrades a
     diverging cell to them; ``chunk_timeout`` bounds how long one
     parallel chunk may run before its worker is presumed hung.
+    ``on_result(seed, result)`` fires after every completed run across
+    all sweeps of the panel (the CLI's live progress hook).
     """
     workers = resolve_workers(workers)
     store = SweepCheckpoint(checkpoint) if checkpoint is not None else None
@@ -158,6 +161,7 @@ def run_figure5(
                 resume=resume,
                 guard=guard,
                 bundle_dir=bundle_dir,
+                on_result=on_result,
             )
             slp = runner.run_resilient(
                 ExperimentConfig(
@@ -177,6 +181,7 @@ def run_figure5(
                 resume=resume,
                 guard=guard,
                 bundle_dir=bundle_dir,
+                on_result=on_result,
             )
             cells.append(
                 Figure5Cell(

@@ -19,6 +19,7 @@ from ..das import run_das_setup
 from ..metrics import MessageOverhead
 from ..simulator import NoiseModel
 from ..slp import SlpProtocolConfig, run_slp_setup
+from ..telemetry import active_tracer
 from ..topology import Topology
 from .config import PAPER, PaperParameters
 from .parallel import resolve_workers
@@ -55,7 +56,45 @@ def _measure_one_seed(
     """One seed's baseline-vs-SLP setup comparison.
 
     Module-level so the parallel path can ship it to worker processes.
+    Under an active telemetry session the whole measurement runs in an
+    ``overhead.seed`` span (the setup kernels add their own
+    ``setup.phase*`` children).
     """
+    tracer = active_tracer()
+    if tracer is None:
+        return _measure_one_seed_impl(
+            topology,
+            seed,
+            search_distance,
+            setup_periods,
+            refinement_periods,
+            noise,
+            parameters,
+            setup_kernel,
+        )
+    with tracer.span("overhead.seed", seed=seed):
+        return _measure_one_seed_impl(
+            topology,
+            seed,
+            search_distance,
+            setup_periods,
+            refinement_periods,
+            noise,
+            parameters,
+            setup_kernel,
+        )
+
+
+def _measure_one_seed_impl(
+    topology: Topology,
+    seed: int,
+    search_distance: int,
+    setup_periods: Optional[int],
+    refinement_periods: int,
+    noise: Optional[NoiseModel],
+    parameters: PaperParameters,
+    setup_kernel: Optional[str] = None,
+) -> MessageOverhead:
     das_cfg = parameters.das_config(setup_periods=setup_periods)
     baseline = run_das_setup(
         topology, config=das_cfg, seed=seed, noise=noise, setup_kernel=setup_kernel

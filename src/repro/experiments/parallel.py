@@ -32,6 +32,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..app import OperationalResult
 from ..core import Schedule
 from ..errors import ConfigurationError, invalid_field
+from ..telemetry import (
+    MetricsRegistry,
+    SpanTracer,
+    active_tracer,
+    tracing,
+    use_registry,
+)
 from ..topology import Topology
 from .faults import active_fault_plan
 from .resilience import FailedRun, RetryPolicy, WorkerSupervisor
@@ -137,6 +144,19 @@ def seed_chunks(seeds: Sequence[int], tasks: int) -> List[Tuple[int, ...]]:
     return chunks
 
 
+class ChunkResults(List[OperationalResult]):
+    """One chunk's result list plus an optional telemetry payload.
+
+    A ``list`` subclass, so the supervisor's seed↔result zip and every
+    other consumer handle it exactly like the bare list workers used
+    to return; the payload (worker spans + metrics snapshot, see
+    :meth:`SpanTracer.export_payload`) rides back on the same future
+    and is only ever looked for via ``getattr``.
+    """
+
+    telemetry: Optional[dict] = None
+
+
 def _run_seed_chunk(
     topology: Topology,
     config: ExperimentConfig,
@@ -150,7 +170,41 @@ def _run_seed_chunk(
     lookups); they are preloaded counter-neutrally into this worker's
     process-default cache so the worker reuses instead of rebuilding.
     Module-level so it pickles by reference under every start method.
+
+    With ``config.telemetry`` set the chunk instruments itself — a
+    private tracer and registry for exactly this chunk's work — and
+    ships both back with the results as a :class:`ChunkResults`
+    payload, which the supervisor absorbs onto the parent's timeline
+    as a separate worker track.
     """
+    # An active tracer owned by *this* process means the chunk is
+    # running inline under the parent session — its spans land on the
+    # parent track directly.  A tracer with a foreign pid is an
+    # artefact of fork-start pools (the child inherits the parent's
+    # module globals); the worker must still instrument itself.
+    parent_tracer = active_tracer()
+    if not config.telemetry or (
+        parent_tracer is not None and parent_tracer.pid == os.getpid()
+    ):
+        return _run_chunk_seeds(topology, config, seeds, schedules)
+    tracer = SpanTracer()
+    registry = MetricsRegistry()
+    with use_registry(registry), tracing(tracer):
+        with tracer.span("chunk.run", seeds=list(seeds)):
+            results = _run_chunk_seeds(topology, config, seeds, schedules)
+    payload = tracer.export_payload()
+    payload["metrics"] = registry.snapshot()
+    wrapped = ChunkResults(results)
+    wrapped.telemetry = payload
+    return wrapped
+
+
+def _run_chunk_seeds(
+    topology: Topology,
+    config: ExperimentConfig,
+    seeds: Tuple[int, ...],
+    schedules: Optional[Dict[Tuple, Schedule]] = None,
+) -> List[OperationalResult]:
     if schedules:
         default_schedule_cache().preload(schedules)
     plan = active_fault_plan()

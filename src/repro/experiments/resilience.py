@@ -63,6 +63,7 @@ from typing import (
 
 from ..app import OperationalResult
 from ..errors import invalid_field
+from ..telemetry import absorb_worker_payload, active_tracer, default_registry
 from .faults import active_fault_plan
 from .schedule_cache import topology_fingerprint
 
@@ -285,14 +286,14 @@ class WorkerSupervisor:
                 except BrokenExecutor as exc:
                     pool_dead = True
                     blame_rest = True
-                    self._respawn(False)
+                    self._note_respawn(False)
                     round_delay = max(
                         round_delay,
                         self._retry_or_fail(task, exc, "crash", queue, failures),
                     )
                 except TimeoutError as exc:
                     pool_dead = True
-                    self._respawn(True)
+                    self._note_respawn(True)
                     round_delay = max(
                         round_delay,
                         self._retry_or_fail(task, exc, "timeout", queue, failures),
@@ -318,12 +319,23 @@ class WorkerSupervisor:
         try:
             if self._plan is not None:
                 self._plan.before_submit(task.seeds)
-            return self._submit(task.seeds), 0.0
+            future = self._submit(task.seeds)
         except BrokenExecutor as exc:
-            self._respawn(False)
+            self._note_respawn(False)
             return None, self._retry_or_fail(task, exc, "crash", queue, failures)
         except Exception as exc:
             return None, self._retry_or_fail(task, exc, "submit", queue, failures)
+        default_registry().inc("supervisor.chunks")
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "chunk.dispatch", seeds=list(task.seeds), attempt=task.attempt
+            )
+        return future, 0.0
+
+    def _note_respawn(self, kill: bool) -> None:
+        default_registry().inc("supervisor.respawns")
+        self._respawn(kill)
 
     def _harvest(
         self,
@@ -331,6 +343,11 @@ class WorkerSupervisor:
         chunk_results: Sequence[OperationalResult],
         results: Dict[int, OperationalResult],
     ) -> None:
+        payload = getattr(chunk_results, "telemetry", None)
+        if payload is not None:
+            # A telemetry-enabled worker shipped its spans and metrics
+            # with the chunk; merge them onto the parent's timeline.
+            absorb_worker_payload(payload)
         for seed, result in zip(task.seeds, chunk_results):
             results[seed] = result
             if self._on_result is not None:
@@ -346,17 +363,37 @@ class WorkerSupervisor:
     ) -> float:
         """Requeue, split, or quarantine a failed task; return the
         backoff its round owes."""
+        registry = default_registry()
+        tracer = active_tracer()
         if task.attempt < self._retry.max_attempts:
+            registry.inc("supervisor.retries")
+            if kind == "timeout":
+                registry.inc("supervisor.timeouts")
+            if tracer is not None:
+                tracer.instant(
+                    "chunk.retry",
+                    seeds=list(task.seeds),
+                    attempt=task.attempt,
+                    kind=kind,
+                )
             queue.append(_Task(task.seeds, task.attempt + 1))
             return self._retry.delay(task.attempt, key=task.seeds[0])
         if len(task.seeds) > 1:
             # Out of attempts as a chunk: bisect to isolate the poison
             # seed.  Halves start fresh — their seeds are merely
             # suspects, not convicts.
+            registry.inc("supervisor.bisections")
+            if tracer is not None:
+                tracer.instant("chunk.bisect", seeds=list(task.seeds))
             mid = len(task.seeds) // 2
             queue.append(_Task(task.seeds[:mid], 1))
             queue.append(_Task(task.seeds[mid:], 1))
             return self._retry.delay(task.attempt, key=task.seeds[0])
+        registry.inc("supervisor.quarantined")
+        if tracer is not None:
+            tracer.instant(
+                "chunk.quarantine", seed=task.seeds[0], kind=kind
+            )
         failures.append(
             FailedRun(
                 seed=task.seeds[0],
@@ -427,7 +464,10 @@ class SweepCheckpoint:
 
     def key_for(self, topology, config) -> str:
         """The sweep's content digest (see the class docstring)."""
-        canonical = replace(config, repeats=1, base_seed=0)
+        # Telemetry is canonicalised away with repeats/base_seed: it
+        # never affects results, so instrumented and plain sweeps must
+        # share one store.
+        canonical = replace(config, repeats=1, base_seed=0, telemetry=False)
         digest = sha256()
         digest.update(topology_fingerprint(topology).encode())
         digest.update(repr(topology.source if topology.has_source else None).encode())
@@ -568,10 +608,23 @@ def apply_divergence_guard(
     legacy_cfg = _legacy_config(config)
     probe = ExperimentRunner(runner.topology)
     mismatches: List[Tuple[int, OperationalResult, OperationalResult]] = []
-    for seed in sampled:
-        reference = probe.run_once(legacy_cfg, seed)
-        if reference != by_seed[seed]:
-            mismatches.append((seed, by_seed[seed], reference))
+    tracer = active_tracer()
+    rerun_span = (
+        tracer.begin("guard.rerun", sampled=list(sampled))
+        if tracer is not None
+        else None
+    )
+    try:
+        for seed in sampled:
+            reference = probe.run_once(legacy_cfg, seed)
+            if reference != by_seed[seed]:
+                mismatches.append((seed, by_seed[seed], reference))
+    finally:
+        if rerun_span is not None:
+            tracer.end(rerun_span)
+    registry = default_registry()
+    registry.inc("guard.sampled", len(sampled))
+    registry.inc("guard.mismatched", len(mismatches))
     if not mismatches:
         report = GuardReport(
             mode=GUARD_DIFFERENTIAL,

@@ -15,7 +15,7 @@ full message-level setup instead, which the examples demonstrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from ..app import (
@@ -38,6 +38,7 @@ from ..slp import (
     build_slp_schedule,
     run_slp_setup,
 )
+from ..telemetry import active_tracer, default_registry
 from ..topology import Topology
 from .config import PAPER, PaperParameters
 from .faults import active_fault_plan
@@ -119,6 +120,14 @@ class ExperimentConfig:
         priorities: one canonical schedule per topology regardless of
         seed, which the schedule cache then keys *without* the seed —
         a 30-seed sweep builds once.
+    telemetry:
+        Whether runs record telemetry spans/metrics.  Stamped
+        automatically when a :class:`~repro.telemetry.TelemetrySession`
+        is active in the dispatching process, and carried on the config
+        so pool workers instrument themselves and ship their spans back
+        with each chunk.  Never affects results — instrumentation only
+        reads clocks inside already-entered spans and never touches the
+        RNG stream.
     """
 
     algorithm: str = PROTECTIONLESS
@@ -136,6 +145,7 @@ class ExperimentConfig:
     setup_kernel: Optional[str] = None
     use_schedule_cache: bool = True
     schedule_jitter: bool = True
+    telemetry: bool = False
 
     @property
     def seeded_schedule(self) -> bool:
@@ -267,9 +277,9 @@ class ExperimentRunner:
         if cache is None and schedule_cache_enabled():
             cache = default_schedule_cache()
         if cache is None or not config.use_schedule_cache:
-            return self._build_schedule(config, seed)
+            return self._traced_build(config, seed)
         key = self.schedule_key_for(config, seed)
-        return cache.get_or_build(key, lambda: self._build_schedule(config, seed))
+        return cache.get_or_build(key, lambda: self._traced_build(config, seed))
 
     def schedule_key_for(self, config: ExperimentConfig, seed: int) -> Tuple:
         """The content-addressed cache key of one run's schedule build.
@@ -296,6 +306,19 @@ class ExperimentRunner:
                 else None
             ),
         )
+
+    def _traced_build(self, config: ExperimentConfig, seed: int) -> Schedule:
+        """``_build_schedule`` under a ``schedule.build`` span.
+
+        Only actual builds are spanned — a cache hit never reaches
+        this, so the trace shows real construction work."""
+        tracer = active_tracer()
+        if tracer is None:
+            return self._build_schedule(config, seed)
+        with tracer.span(
+            "schedule.build", algorithm=config.algorithm, seed=seed
+        ):
+            return self._build_schedule(config, seed)
 
     def _build_schedule(self, config: ExperimentConfig, seed: int) -> Schedule:
         params = config.parameters
@@ -343,6 +366,13 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def run_once(self, config: ExperimentConfig, seed: int) -> OperationalResult:
         """Build a schedule and run the operational phase once."""
+        tracer = active_tracer()
+        if tracer is None:
+            return self._run_once(config, seed)
+        with tracer.span("run.once", seed=seed, algorithm=config.algorithm):
+            return self._run_once(config, seed)
+
+    def _run_once(self, config: ExperimentConfig, seed: int) -> OperationalResult:
         schedule = self.build_schedule(config, seed)
         result = run_operational_phase(
             self._topology,
@@ -410,17 +440,66 @@ class ExperimentRunner:
             failures=failures,
         )
 
-    def run(self, config: ExperimentConfig) -> ExperimentOutcome:
-        """Run all repeats and aggregate."""
+    def _stamp_telemetry(self, config: ExperimentConfig) -> ExperimentConfig:
+        """Mark the config telemetry-enabled while a session is active,
+        so pool workers (which only see the pickled config) instrument
+        themselves.  Identity when telemetry is off or already set."""
+        if config.telemetry or active_tracer() is None:
+            return config
+        return replace(config, telemetry=True)
+
+    def _publish_sweep_metrics(
+        self, outcome: ExperimentOutcome, elapsed: float
+    ) -> None:
+        """Fold one sweep's capture metrics into the registry.  Only
+        called with telemetry active — rates read the span clock."""
+        registry = default_registry()
+        stats = outcome.stats
+        registry.inc("sweep.runs", stats.runs)
+        registry.inc("sweep.captures", stats.captures)
+        registry.gauge("sweep.capture_ratio", stats.capture_ratio)
+        registry.observe("sweep.capture_ratio", stats.capture_ratio)
+        messages = 0
+        for result in outcome.results:
+            registry.observe("sweep.safety_periods", result.safety_periods)
+            registry.observe("sweep.periods_run", result.periods_run)
+            messages += result.messages_sent
+        registry.inc("sweep.messages", messages)
+        if elapsed > 0:
+            registry.gauge(
+                "sweep.runs_per_second", round(stats.runs / elapsed, 3)
+            )
+            registry.gauge(
+                "sweep.messages_per_second", round(messages / elapsed, 1)
+            )
+
+    def run(
+        self,
+        config: ExperimentConfig,
+        on_result: Optional[Callable[[int, OperationalResult], None]] = None,
+    ) -> ExperimentOutcome:
+        """Run all repeats and aggregate.  ``on_result`` fires after
+        each completed seed (progress reporting)."""
+        config = self._stamp_telemetry(config)
         seeds = [config.base_seed + i for i in range(config.repeats)]
-        results_by_seed, failures = self._execute(config, seeds)
-        return self._outcome(config, seeds, results_by_seed, failures)
+        tracer = active_tracer()
+        if tracer is None:
+            results_by_seed, failures = self._execute(config, seeds, on_result)
+            return self._outcome(config, seeds, results_by_seed, failures)
+        with tracer.span(
+            "sweep.execute", algorithm=config.algorithm, repeats=config.repeats
+        ) as span:
+            results_by_seed, failures = self._execute(config, seeds, on_result)
+            outcome = self._outcome(config, seeds, results_by_seed, failures)
+        self._publish_sweep_metrics(outcome, span.end - span.start)
+        return outcome
 
     def run_checkpointed(
         self,
         config: ExperimentConfig,
         checkpoint: SweepCheckpoint,
         resume: bool = True,
+        on_result: Optional[Callable[[int, OperationalResult], None]] = None,
     ) -> ExperimentOutcome:
         """Run the sweep through an on-disk checkpoint store.
 
@@ -431,17 +510,20 @@ class ExperimentRunner:
         process produced it or when).  ``resume=False`` discards any
         prior record first.
         """
+        config = self._stamp_telemetry(config)
         key = checkpoint.key_for(self._topology, config)
         if not resume:
             checkpoint.clear(key)
         done = checkpoint.load(key) if resume else {}
         seeds = [config.base_seed + i for i in range(config.repeats)]
         missing = [s for s in seeds if s not in done]
-        fresh, failures = self._execute(
-            config,
-            missing,
-            on_result=lambda seed, result: checkpoint.append(key, seed, result),
-        )
+
+        def _record(seed: int, result: OperationalResult) -> None:
+            checkpoint.append(key, seed, result)
+            if on_result is not None:
+                on_result(seed, result)
+
+        fresh, failures = self._execute(config, missing, on_result=_record)
         merged = {s: done[s] for s in seeds if s in done}
         merged.update(fresh)
         return self._outcome(config, seeds, merged, failures)
@@ -454,6 +536,7 @@ class ExperimentRunner:
         guard: Optional[str] = None,
         guard_sample: int = 3,
         bundle_dir: str = "divergence",
+        on_result: Optional[Callable[[int, OperationalResult], None]] = None,
     ) -> ExperimentOutcome:
         """The fault-tolerance front door: checkpointing and the
         kernel-divergence guard composed over :meth:`run`.
@@ -471,9 +554,11 @@ class ExperimentRunner:
                 f"pick one of {GUARD_MODES} (or None)",
             )
         if checkpoint is not None:
-            outcome = self.run_checkpointed(config, checkpoint, resume=resume)
+            outcome = self.run_checkpointed(
+                config, checkpoint, resume=resume, on_result=on_result
+            )
         else:
-            outcome = self.run(config)
+            outcome = self.run(config, on_result=on_result)
         if guard is not None:
             outcome = apply_divergence_guard(
                 self, config, outcome, sample=guard_sample, bundle_dir=bundle_dir

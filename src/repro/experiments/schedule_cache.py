@@ -140,6 +140,8 @@ class ScheduleCache:
         self._entries: "OrderedDict[Tuple, Schedule]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.preloads = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -162,6 +164,7 @@ class ScheduleCache:
         entries[key] = schedule
         if len(entries) > self._maxsize:
             entries.popitem(last=False)
+            self.evictions += 1
         return schedule
 
     def peek(self, key: Tuple) -> Optional[Schedule]:
@@ -181,32 +184,47 @@ class ScheduleCache:
         in the chunk payload; the subsequent ``get_or_build`` lookups
         then count as ordinary hits (they are: the schedule exists and
         is reused), while the preload itself is neither a hit nor a
-        miss — the worker never looked anything up to install it.
+        miss — the worker never looked anything up to install it.  The
+        ``preloads`` counter records each installed entry so shipped
+        schedules stay visible without distorting the hit rate.
         """
         cache = self._entries
         for key, schedule in entries.items():
             cache[key] = schedule
+            self.preloads += 1
             if len(cache) > self._maxsize:
                 cache.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.preloads = 0
 
     def stats(self) -> Dict[str, int]:
         """A snapshot of the counters (plus current size)."""
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "preloads": self.preloads,
+            "size": len(self._entries),
+        }
 
     def summary(self) -> str:
         """One line for CLI/bench output."""
         total = self.hits + self.misses
         ratio = (100.0 * self.hits / total) if total else 0.0
-        return (
+        line = (
             f"schedule cache: {self.hits} hits / {self.misses} misses "
             f"({ratio:.0f}% hit rate), {len(self._entries)}/{self._maxsize} entries"
         )
+        if self.evictions or self.preloads:
+            line += f", {self.evictions} evictions, {self.preloads} preloads"
+        return line
 
 
 #: The per-process default cache (each worker process owns its own).
@@ -231,7 +249,8 @@ def default_cache() -> ScheduleCache:
 
 
 def default_cache_stats() -> Dict[str, int]:
-    """Counter snapshot of the process-default cache (hits/misses/size)."""
+    """Counter snapshot of the process-default cache
+    (hits/misses/evictions/preloads/size)."""
     return _DEFAULT_CACHE.stats()
 
 

@@ -38,6 +38,7 @@ from ..metrics import (
     first_capture_stats,
     per_source_capture_stats,
 )
+from ..telemetry import ProgressReporter
 from ..topology import NodeId
 from .registry import get_scenario
 from .spec import ScenarioSpec
@@ -199,6 +200,11 @@ class ScenarioRunner:
         Seconds one parallel chunk may run before its worker is
         presumed hung and the pool is rebuilt (``None`` = wait
         forever).
+    progress:
+        Render live sweep progress on stderr (seeds completed, runs/s,
+        ETA, retry ticker).  The reporter is TTY-aware — with stderr
+        redirected it stays silent — and never touches the report
+        bytes; the CLI passes ``not --quiet``.
     """
 
     def __init__(
@@ -212,6 +218,7 @@ class ScenarioRunner:
         resume: bool = False,
         guard: Optional[str] = None,
         chunk_timeout: Optional[float] = None,
+        progress: bool = False,
     ) -> None:
         self._workers = workers
         self._force_parallel = force_parallel
@@ -222,6 +229,7 @@ class ScenarioRunner:
         self._resume = resume
         self._guard = guard
         self._chunk_timeout = chunk_timeout
+        self._progress = progress
         self._bundle_dir = (
             str(Path(checkpoint) / "divergence") if checkpoint else "divergence"
         )
@@ -282,20 +290,32 @@ class ScenarioRunner:
                 setup_kernel=self._setup_kernel,
                 use_schedule_cache=self._use_schedule_cache,
             )
-        with make_runner(
-            topology,
-            self._workers,
-            repeats=config.repeats,
-            force_parallel=self._force_parallel,
-            chunk_timeout=self._chunk_timeout,
-        ) as runner:
-            outcome = runner.run_resilient(
-                config,
-                checkpoint=self._checkpoint,
-                resume=self._resume,
-                guard=self._guard,
-                bundle_dir=self._bundle_dir,
+        reporter = None
+        on_result = None
+        if self._progress:
+            reporter = ProgressReporter(
+                total=config.repeats, label=f"{spec.name}: "
             )
+            on_result = reporter.on_result
+        try:
+            with make_runner(
+                topology,
+                self._workers,
+                repeats=config.repeats,
+                force_parallel=self._force_parallel,
+                chunk_timeout=self._chunk_timeout,
+            ) as runner:
+                outcome = runner.run_resilient(
+                    config,
+                    checkpoint=self._checkpoint,
+                    resume=self._resume,
+                    guard=self._guard,
+                    bundle_dir=self._bundle_dir,
+                    on_result=on_result,
+                )
+        finally:
+            if reporter is not None:
+                reporter.finish()
         return ScenarioOutcome(
             spec=spec,
             topology_name=outcome.topology_name,

@@ -104,6 +104,18 @@ class TraceRecorder:
         """A copy of all per-kind totals."""
         return dict(self._counts)
 
+    def publish_counts(self, registry, prefix: str = "trace.") -> None:
+        """Fold every per-kind total into a telemetry metrics registry
+        as ``<prefix><kind>`` counters.
+
+        The recorder stays import-free of the telemetry package — any
+        object with an ``inc(name, value)`` method works — so trace
+        accounting carries no telemetry dependency when disabled.
+        """
+        inc = registry.inc
+        for kind, total in self._counts.items():
+            inc(prefix + kind, total)
+
     @property
     def records(self) -> List[TraceRecord]:
         """All retained records in chronological order."""

@@ -1,0 +1,38 @@
+"""Unified telemetry: spans, metrics registry, live progress, export.
+
+See DESIGN.md "Observability" for the span taxonomy, registry naming
+convention, and export formats.  The cardinal rule of this package:
+with no active session, instrumented code paths are no-ops that never
+touch the RNG stream or the clock, and telemetry-off runs stay
+byte-identical to uninstrumented builds.
+"""
+
+from .progress import ProgressReporter
+from .registry import MetricsRegistry, default_registry, use_registry
+from .session import TelemetrySession, absorb_worker_payload, active_session
+from .spans import (
+    DEFAULT_MAX_SPANS,
+    Span,
+    SpanTracer,
+    active_tracer,
+    chrome_trace,
+    spans_jsonl,
+    tracing,
+)
+
+__all__ = [
+    "DEFAULT_MAX_SPANS",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "Span",
+    "SpanTracer",
+    "TelemetrySession",
+    "absorb_worker_payload",
+    "active_session",
+    "active_tracer",
+    "chrome_trace",
+    "default_registry",
+    "spans_jsonl",
+    "tracing",
+    "use_registry",
+]

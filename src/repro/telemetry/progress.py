@@ -1,0 +1,110 @@
+"""Live sweep progress on stderr, driven by the ``on_result`` hook.
+
+The reporter is TTY-aware: unless explicitly enabled it stays silent
+when stderr is not a terminal (CI logs, piped output, pytest capture)
+and when the CLI's ``--quiet`` flag suppressed its construction.  It
+renders a single carriage-return-refreshed line — seeds completed,
+runs per second, ETA — plus a retry/quarantine ticker read from the
+metrics registry's supervisor counters.
+
+The reporter only ever *reads* clocks after a seed completes, so it
+cannot perturb the RNG stream or the result bytes; a disabled
+reporter's ``on_result`` is a single attribute check.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from .registry import default_registry
+
+__all__ = ["ProgressReporter"]
+
+_TICKER_COUNTERS = (
+    ("supervisor.retries", "retries"),
+    ("supervisor.quarantined", "quarantined"),
+)
+
+
+class ProgressReporter:
+    """Render ``done/total`` progress for one sweep on stderr."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "",
+        stream: Optional[TextIO] = None,
+        enabled: Optional[bool] = None,
+        min_interval: float = 0.1,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        if enabled is None:
+            isatty = getattr(self._stream, "isatty", None)
+            enabled = bool(isatty()) if callable(isatty) else False
+        self._enabled = enabled
+        self._total = max(total, 0)
+        self._label = label
+        self._min_interval = min_interval
+        self._done = 0
+        self._rendered = False
+        self._started: Optional[float] = None
+        self._last_render = 0.0
+        self._base: Optional[Dict[str, float]] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def done(self) -> int:
+        return self._done
+
+    def on_result(self, seed: int, result: Any) -> None:
+        """Supervisor/runner ``on_result`` hook — one completed seed."""
+        if not self._enabled:
+            return
+        now = time.perf_counter()
+        if self._started is None:
+            # Baselines are captured at the first result so the ticker
+            # shows this sweep's deltas even on a long-lived registry.
+            self._started = now
+            registry = default_registry()
+            self._base = {
+                name: registry.counter(name) for name, _ in _TICKER_COUNTERS
+            }
+        self._done += 1
+        if (
+            now - self._last_render >= self._min_interval
+            or self._done >= self._total
+        ):
+            self._render(now)
+
+    def finish(self) -> None:
+        """Terminate the progress line (call once the sweep returns)."""
+        if not self._enabled or not self._rendered:
+            return
+        self._render(time.perf_counter())
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def _render(self, now: float) -> None:
+        elapsed = now - (self._started or now)
+        parts = [f"{self._label}{self._done}/{self._total} seeds"]
+        if elapsed > 0 and self._done:
+            rate = self._done / elapsed
+            parts.append(f"{rate:.1f} runs/s")
+            remaining = max(self._total - self._done, 0)
+            if remaining and rate > 0:
+                parts.append(f"ETA {remaining / rate:.0f}s")
+        registry = default_registry()
+        for name, short in _TICKER_COUNTERS:
+            base = (self._base or {}).get(name, 0)
+            delta = registry.counter(name) - base
+            if delta > 0:
+                parts.append(f"{short} {delta:g}")
+        self._stream.write("\r" + " · ".join(parts) + "\x1b[K")
+        self._stream.flush()
+        self._last_render = now
+        self._rendered = True

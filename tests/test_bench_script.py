@@ -58,6 +58,7 @@ class TestBenchQuickMode:
             "das_dissem15",
             "trace_heavy",
             "scenario",
+            "telemetry",
         }
 
     def test_setup_workload_reports_cold_builds(self, bench_output):
@@ -96,12 +97,23 @@ class TestBenchQuickMode:
         assert scenario["results_identical"] is True
         assert scenario["runs_per_second_serial"] > 0
 
+    def test_telemetry_workload_guards_the_noop_path(self, bench_output):
+        _, out = bench_output
+        telemetry = json.loads(out.read_text())["workloads"]["telemetry"]
+        # The gated number is the telemetry-OFF leg's throughput, so
+        # the regression gate protects the no-op path every normal
+        # run takes; the on-leg delta is tracked alongside it.
+        assert telemetry["runs_per_second_serial"] > 0
+        assert telemetry["telemetry_overhead_fraction"] is not None
+        assert telemetry["spans_recorded"] > 0
+        assert telemetry["results_identical"] is True
+
 
 class TestBenchHelpers:
     def test_workers_zero_means_cpu_count(self, bench, tmp_path, monkeypatch):
         seen = {}
 
-        def fake_suite(workers, quick):
+        def fake_suite(workers, quick, telemetry_dir=None):
             seen["workers"] = workers
             return {"meta": {"workers": workers, "quick": quick}, "workloads": {}}
 
@@ -111,7 +123,7 @@ class TestBenchHelpers:
         assert seen["workers"] >= 1
 
     def test_identity_failure_fails_the_run(self, bench, tmp_path, monkeypatch):
-        def bad_suite(workers, quick):
+        def bad_suite(workers, quick, telemetry_dir=None):
             return {
                 "meta": {},
                 "workloads": {"sweep11": {"stats_identical": False}},
@@ -156,7 +168,9 @@ class TestRegressionGate:
     def test_regression_fails_the_run(self, bench, tmp_path, monkeypatch):
         baseline = tmp_path / "BENCH_prev.json"
         baseline.write_text(json.dumps(_fake_suite(20.0)))
-        monkeypatch.setattr(bench, "run_suite", lambda workers, quick: _fake_suite(10.0))
+        monkeypatch.setattr(
+            bench, "run_suite", lambda workers, quick, telemetry_dir=None: _fake_suite(10.0)
+        )
         out = tmp_path / "b.json"
         argv = ["--quick", "--out", str(out), "--baseline", str(baseline)]
         assert bench.main(argv) == 1
@@ -166,7 +180,9 @@ class TestRegressionGate:
     def test_improvement_passes(self, bench, tmp_path, monkeypatch):
         baseline = tmp_path / "BENCH_prev.json"
         baseline.write_text(json.dumps(_fake_suite(10.0)))
-        monkeypatch.setattr(bench, "run_suite", lambda workers, quick: _fake_suite(20.0))
+        monkeypatch.setattr(
+            bench, "run_suite", lambda workers, quick, telemetry_dir=None: _fake_suite(20.0)
+        )
         out = tmp_path / "b.json"
         assert bench.main(
             ["--quick", "--out", str(out), "--baseline", str(baseline)]

@@ -155,7 +155,13 @@ class TestScheduleCacheLru:
         cache.get_or_build("k", lambda: built.append(1) or "schedule")
         assert cache.get_or_build("k", lambda: built.append(1) or "schedule") == "schedule"
         assert (cache.hits, cache.misses, len(built)) == (1, 1, 1)
-        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "preloads": 0,
+            "size": 1,
+        }
         assert "1 hits / 1 misses" in cache.summary()
 
     def test_lru_bound_evicts_least_recently_used(self):
@@ -174,6 +180,24 @@ class TestScheduleCacheLru:
         cache.get_or_build("a", lambda: "A")
         cache.clear()
         assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+        assert (cache.evictions, cache.preloads) == (0, 0)
+
+    def test_eviction_and_preload_counters(self):
+        cache = ScheduleCache(maxsize=2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        cache.get_or_build("c", lambda: "C")  # evicts a
+        assert cache.evictions == 1
+        cache.preload({"d": "D"})  # installs d, evicts b
+        assert (cache.preloads, cache.evictions) == (1, 2)
+        # Preload is hit/miss-neutral: nothing was looked up.
+        assert (cache.hits, cache.misses) == (0, 3)
+        assert "2 evictions, 1 preloads" in cache.summary()
+
+    def test_summary_keeps_short_form_without_evictions(self):
+        cache = ScheduleCache()
+        cache.get_or_build("a", lambda: "A")
+        assert "evictions" not in cache.summary()
 
     def test_maxsize_validated(self):
         with pytest.raises(ConfigurationError):
@@ -292,7 +316,7 @@ class TestDefaultCacheAccessors:
 
     def test_default_cache_stats_snapshot(self, grid5):
         before = default_cache_stats()
-        assert set(before) == {"hits", "misses", "size"}
+        assert set(before) == {"hits", "misses", "evictions", "preloads", "size"}
         ExperimentRunner(grid5).build_schedule(
             ExperimentConfig(repeats=1), seed=12345
         )
@@ -304,4 +328,10 @@ class TestDefaultCacheAccessors:
             ExperimentConfig(repeats=1), seed=54321
         )
         reset_default_cache()
-        assert default_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+        assert default_cache_stats() == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "preloads": 0,
+            "size": 0,
+        }
