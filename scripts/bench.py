@@ -454,6 +454,33 @@ def workload_plan(
     ]
 
 
+def cpu_model() -> str:
+    """The CPU model string, best-effort across platforms."""
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine()
+
+
+def host_fingerprint() -> dict:
+    """What makes one host's throughput numbers comparable to another's.
+
+    Stamped into every BENCH artifact's ``meta.host``; the regression
+    gate compares fingerprints and *warns instead of failing* when the
+    baseline came from different hardware or a different interpreter —
+    a cross-host delta measures the machines, not the code.
+    """
+    return {
+        "cpu_model": cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+    }
+
+
 def run_suite(
     workers: int, quick: bool, telemetry_dir: Optional[Path] = None
 ) -> dict:
@@ -463,6 +490,7 @@ def run_suite(
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
+            "host": host_fingerprint(),
             "workers": workers,
             "quick": quick,
         },
@@ -757,12 +785,25 @@ def main(argv=None) -> int:
         for line in lines:
             print(line, file=sys.stderr)
         if regressions:
-            print(
-                f"REGRESSION: >{args.regression_threshold:.0%} throughput loss "
-                f"in: {regressions}",
-                file=sys.stderr,
-            )
-            exit_code = 1
+            baseline_host = previous.get("meta", {}).get("host")
+            current_host = suite.get("meta", {}).get("host")
+            if baseline_host != current_host:
+                # Different hardware or interpreter (or a pre-fingerprint
+                # baseline): the delta measures the host, not the code.
+                print(
+                    f"WARNING: >{args.regression_threshold:.0%} throughput "
+                    f"loss in {regressions}, but the baseline's host "
+                    f"fingerprint differs ({baseline_host} vs "
+                    f"{current_host}) — not failing the gate",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"REGRESSION: >{args.regression_threshold:.0%} throughput loss "
+                    f"in: {regressions}",
+                    file=sys.stderr,
+                )
+                exit_code = 1
     return exit_code
 
 

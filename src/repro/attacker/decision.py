@@ -61,6 +61,17 @@ class DecisionFunction(ABC):
         """Short name used in reports."""
         return type(self).__name__
 
+    # The shipped functions are parameter-free, so two instances of the
+    # same class are interchangeable: value equality is type equality.
+    # This is what lets an :class:`~repro.attacker.AttackerSpec` (and
+    # the frozen ScenarioSpec carrying it) survive a JSON round trip
+    # comparing equal.  A parameterised subclass must override both.
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
 
 def _earliest(heard: Sequence[HeardMessage]) -> HeardMessage:
     """The first message captured: minimum ``(time, slot, sender)``."""

@@ -26,7 +26,7 @@ from typing import List, Optional
 
 from .core import check_strong_das, check_weak_das, safety_period
 from .das import centralized_das_schedule
-from .errors import SweepExecutionError
+from .errors import ConfigurationError, SweepExecutionError
 from .experiments import (
     GUARD_MODES,
     PAPER,
@@ -42,7 +42,9 @@ from .experiments import configure_schedule_cache, default_schedule_cache
 from .scenarios import (
     ScenarioRunner,
     format_comparison,
+    get_scenario,
     iter_scenarios,
+    load_scenario_file,
     scenario_names,
 )
 from .slp import SlpParameters, build_slp_schedule
@@ -275,6 +277,17 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_export(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.name)
+    payload = spec.to_json() + "\n"
+    if args.out is not None:
+        args.out.write_text(payload)
+        _status(args, f"wrote {args.out}")
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
 def _cmd_scenario_list(_: argparse.Namespace) -> int:
     header = f"{'name':<22} {'summary'}"
     print(header)
@@ -290,6 +303,8 @@ def _cmd_scenario_list(_: argparse.Namespace) -> int:
 def _make_scenario_runner(args: argparse.Namespace) -> ScenarioRunner:
     if args.no_schedule_cache:
         configure_schedule_cache(enabled=False)
+    if getattr(args, "schedule_store", None) is not None:
+        configure_schedule_cache(store=args.schedule_store)
     return ScenarioRunner(
         workers=args.workers,
         force_parallel=args.force_parallel,
@@ -304,10 +319,21 @@ def _make_scenario_runner(args: argparse.Namespace) -> ScenarioRunner:
     )
 
 
+def _resolve_scenario(name: str):
+    """A ``scenario run`` target: a registry name, or a path to a JSON
+    spec document (recognised by a ``.json`` suffix or an existing
+    file — ``scenario run specs/ablation.json`` just works)."""
+    if name.endswith(".json") or Path(name).is_file():
+        return load_scenario_file(name)
+    return name
+
+
 def _cmd_scenario_run(args: argparse.Namespace) -> int:
     runner = _make_scenario_runner(args)
     with _telemetry_session(args, "cli.scenario-run"):
-        outcome = runner.run(args.name, seeds=args.seeds, base_seed=args.seed)
+        outcome = runner.run(
+            _resolve_scenario(args.name), seeds=args.seeds, base_seed=args.seed
+        )
     if args.jsonl:
         payload = outcome.to_jsonl()
     else:
@@ -339,6 +365,134 @@ def _cmd_scenario_compare(args: argparse.Namespace) -> int:
             o.guard is not None and o.guard.degraded for o in outcomes
         ),
     )
+
+
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8642"
+
+
+def _cmd_service_start(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .experiments import RetryPolicy
+    from .service import SweepService
+
+    retry = (
+        RetryPolicy(max_attempts=args.max_attempts)
+        if args.max_attempts is not None
+        else None
+    )
+    service = SweepService(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        shard_workers=args.shard_workers,
+        shards_per_job=args.shards_per_job,
+        shard_timeout=args.shard_timeout,
+        retry=retry,
+        schedule_store=args.schedule_store,
+    )
+    stop_requested = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop_requested.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    service.start()
+    _status(args, f"sweep service listening on {service.url}")
+    _status(args, f"data dir: {Path(args.data_dir).resolve()}")
+    while not stop_requested.is_set() and not service.stopping:
+        stop_requested.wait(0.2)
+    _status(args, "draining: stopping shards, re-queueing the running job")
+    service.drain()
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(args.url, timeout=args.timeout)
+
+
+def _finished_exit(state: str) -> int:
+    if state == "quarantined":
+        return EXIT_QUARANTINED
+    if state == "failed":
+        return EXIT_SWEEP_FAILED
+    return 0
+
+
+def _cmd_service_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    scenario = _resolve_scenario(args.name)
+    payload: dict = (
+        {"spec": scenario.to_dict()}
+        if not isinstance(scenario, str)
+        else {"scenario": scenario}
+    )
+    if args.seeds is not None:
+        payload["seeds"] = args.seeds
+    if args.seed is not None:
+        payload["base_seed"] = args.seed
+    if args.legacy_kernel:
+        payload["kernel"] = "legacy"
+    if args.legacy_setup_kernel:
+        payload["setup_kernel"] = "legacy"
+    client = _service_client(args)
+    try:
+        reply = client.submit(payload)
+        job = reply["job"]
+        _status(
+            args,
+            f"job {job} {'created' if reply['created'] else 'deduplicated'} "
+            f"({reply['state']})",
+        )
+        if not args.wait:
+            print(job)
+            return 0
+        final = client.wait(job, timeout=args.timeout)
+        _status(args, f"job {job} finished: {final['state']}")
+        if final["state"] in ("done", "quarantined"):
+            sys.stdout.write(client.result_text(job))
+        return _finished_exit(final["state"])
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_service_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        status = client.status(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(_json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_service_result(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        text = client.result_text(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        args.out.write_text(text)
+        _status(args, f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    state = client.status(args.job)["state"]
+    return _finished_exit(state)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -474,10 +628,26 @@ def build_parser() -> argparse.ArgumentParser:
     scn_list = scenario_sub.add_parser("list", help="list registered scenarios")
     scn_list.set_defaults(func=_cmd_scenario_list)
 
+    scn_export = scenario_sub.add_parser(
+        "export",
+        help="print a registered scenario as a JSON spec document "
+        "(editable, runnable via 'scenario run FILE.json', submittable "
+        "to the experiment service)",
+    )
+    scn_export.add_argument("name", help="registered scenario name")
+    scn_export.add_argument(
+        "--out", type=Path, default=None, help="write the document to a file"
+    )
+    scn_export.set_defaults(func=_cmd_scenario_export, quiet=False)
+
     scn_run = scenario_sub.add_parser(
         "run", help="sweep one scenario and print a JSON report"
     )
-    scn_run.add_argument("name", help="registered scenario name (see 'list')")
+    scn_run.add_argument(
+        "name",
+        help="registered scenario name (see 'list') or a path to a "
+        "JSON spec document (see 'scenario export'/DESIGN.md)",
+    )
     scn_run.add_argument(
         "--seeds", type=int, default=None, help="override the scenario's repeats"
     )
@@ -497,6 +667,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--legacy-setup-kernel", action="store_true", help=legacy_setup_kernel_help
     )
     scn_run.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
+    scn_run.add_argument(
+        "--schedule-store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="attach a shared on-disk schedule store (SQLite) so "
+        "concurrent runs over one topology dedup schedule builds",
+    )
     scn_run.add_argument(
         "--jsonl",
         action="store_true",
@@ -534,9 +712,130 @@ def build_parser() -> argparse.ArgumentParser:
         "--legacy-setup-kernel", action="store_true", help=legacy_setup_kernel_help
     )
     scn_cmp.add_argument("--no-schedule-cache", action="store_true", help=no_cache_help)
+    scn_cmp.add_argument(
+        "--schedule-store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="attach a shared on-disk schedule store (SQLite) so "
+        "concurrent runs over one topology dedup schedule builds",
+    )
     add_resilience_arguments(scn_cmp)
     add_observability_arguments(scn_cmp)
     scn_cmp.set_defaults(func=_cmd_scenario_compare)
+
+    service = sub.add_parser(
+        "service",
+        help="the resilient sweep service: durable jobs over HTTP "
+        "(start/submit/status/result)",
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+
+    url_help = f"service base URL (default {DEFAULT_SERVICE_URL})"
+    timeout_help = "client timeout in seconds (and --wait deadline)"
+
+    svc_start = service_sub.add_parser(
+        "start", help="run the sweep service in the foreground"
+    )
+    svc_start.add_argument(
+        "--data-dir",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="durable state: job store, per-seed checkpoints, schedule store",
+    )
+    svc_start.add_argument("--host", default="127.0.0.1")
+    svc_start.add_argument("--port", type=int, default=8642)
+    svc_start.add_argument(
+        "--shard-workers",
+        type=int,
+        default=2,
+        help="worker processes (= concurrently running shards)",
+    )
+    svc_start.add_argument(
+        "--shards-per-job",
+        type=int,
+        default=None,
+        help="shards to split each job into (default: 2 x shard workers)",
+    )
+    svc_start.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="seconds a shard may go without completing a seed before "
+        "its pool is presumed hung and rebuilt (stall timeout, not a "
+        "total-duration cap)",
+    )
+    svc_start.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="retry attempts per shard before bisection/quarantine",
+    )
+    svc_start.add_argument(
+        "--schedule-store",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="attach a shared on-disk schedule store so concurrent jobs "
+        "over one topology dedup schedule builds",
+    )
+    svc_start.add_argument("--quiet", action="store_true")
+    svc_start.set_defaults(func=_cmd_service_start)
+
+    svc_submit = service_sub.add_parser(
+        "submit", help="submit a scenario (name or spec JSON file) as a job"
+    )
+    svc_submit.add_argument(
+        "name", help="registered scenario name or path to a JSON spec document"
+    )
+    svc_submit.add_argument("--url", default=DEFAULT_SERVICE_URL, help=url_help)
+    svc_submit.add_argument(
+        "--seeds", type=int, default=None, help="override the scenario's repeats"
+    )
+    svc_submit.add_argument("--seed", type=int, default=None, help="first seed")
+    svc_submit.add_argument(
+        "--legacy-kernel", action="store_true", help=legacy_kernel_help
+    )
+    svc_submit.add_argument(
+        "--legacy-setup-kernel", action="store_true", help=legacy_setup_kernel_help
+    )
+    svc_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and print its report "
+        "(exit codes as for 'scenario run')",
+    )
+    svc_submit.add_argument(
+        "--timeout", type=float, default=600.0, help=timeout_help
+    )
+    svc_submit.add_argument("--quiet", action="store_true")
+    svc_submit.set_defaults(func=_cmd_service_submit)
+
+    svc_status = service_sub.add_parser(
+        "status", help="print one job's status document"
+    )
+    svc_status.add_argument("job", help="job id (from 'submit')")
+    svc_status.add_argument("--url", default=DEFAULT_SERVICE_URL, help=url_help)
+    svc_status.add_argument(
+        "--timeout", type=float, default=30.0, help=timeout_help
+    )
+    svc_status.set_defaults(func=_cmd_service_status, quiet=False)
+
+    svc_result = service_sub.add_parser(
+        "result", help="print (or save) one finished job's report"
+    )
+    svc_result.add_argument("job", help="job id (from 'submit')")
+    svc_result.add_argument("--url", default=DEFAULT_SERVICE_URL, help=url_help)
+    svc_result.add_argument(
+        "--timeout", type=float, default=30.0, help=timeout_help
+    )
+    svc_result.add_argument(
+        "--out", type=Path, default=None, help="write the report to a file"
+    )
+    svc_result.add_argument("--quiet", action="store_true")
+    svc_result.set_defaults(func=_cmd_service_result)
 
     show = sub.add_parser("show", help="visualise a refined schedule")
     show.add_argument("--size", type=int, default=11, choices=PAPER_SIZES)
@@ -558,6 +857,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except SweepExecutionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_SWEEP_FAILED

@@ -34,8 +34,15 @@ Fault kinds
     off by one) — only when the run used a non-legacy kernel.  This is
     the drill target for the runtime kernel-divergence guard: a
     silently wrong fast kernel that only a legacy re-run can expose.
+``halt_seeds``
+    The *scheduler process* raises :class:`ServiceHalt` before
+    dispatching any shard containing the seed — the in-process stand-in
+    for ``kill -9`` of the sweep service itself, leaving the job's
+    record ``running`` and its checkpoint partial, exactly as a dead
+    process would.  Fires once per seed; the restart-and-resume drill
+    in the service chaos tests is built on it.
 
-Once-only faults (crash, hang, transient, pickle) coordinate across
+Once-only faults (crash, hang, transient, pickle, halt) coordinate across
 processes and retries through marker files in ``marker_dir``: the
 first process to atomically create ``<kind>-<seed>`` wins the right to
 fire the fault, every later attempt proceeds normally.  ``poison`` and
@@ -70,6 +77,15 @@ class InjectedFault(RuntimeError):
     """
 
 
+class ServiceHalt(BaseException):
+    """The ``halt_seeds`` fault: the service process "dies" here.
+
+    A :class:`BaseException` so no retry/quarantine machinery between
+    the fault point and the service's main loop can swallow it — the
+    real event it stands in for (``SIGKILL``) is not catchable either.
+    """
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A declarative, environment-carried set of fault injections.
@@ -86,6 +102,7 @@ class FaultPlan:
     poison_seeds: Tuple[int, ...] = ()
     pickle_seeds: Tuple[int, ...] = ()
     perturb_seeds: Tuple[int, ...] = ()
+    halt_seeds: Tuple[int, ...] = ()
     hang_seconds: float = 30.0
     marker_dir: str = ""
 
@@ -95,6 +112,7 @@ class FaultPlan:
             "hang_seeds",
             "transient_seeds",
             "pickle_seeds",
+            "halt_seeds",
         ):
             if getattr(self, name) and not self.marker_dir:
                 raise ValueError(
@@ -141,6 +159,7 @@ class FaultPlan:
         """Atomically claim the one firing of a once-only fault."""
         marker = Path(self.marker_dir) / f"{kind}-{seed}"
         try:
+            marker.parent.mkdir(parents=True, exist_ok=True)
             marker.touch(exist_ok=False)
         except FileExistsError:
             return False
@@ -166,6 +185,16 @@ class FaultPlan:
             if seed in self.pickle_seeds and self._once("pickle", seed):
                 raise InjectedFault(
                     f"injected chunk-pickle failure for seed {seed}"
+                )
+
+    def before_shard(self, seeds: Sequence[int]) -> None:
+        """Service-side fault point, called before a shard is handed to
+        the shard scheduler's pool (simulates the service process dying
+        mid-job)."""
+        for seed in seeds:
+            if seed in self.halt_seeds and self._once("halt", seed):
+                raise ServiceHalt(
+                    f"injected service halt before shard containing seed {seed}"
                 )
 
     def on_result(self, config: object, seed: int, result):

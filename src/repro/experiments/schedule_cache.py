@@ -138,10 +138,30 @@ class ScheduleCache:
             )
         self._maxsize = maxsize
         self._entries: "OrderedDict[Tuple, Schedule]" = OrderedDict()
+        self._store = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.preloads = 0
+
+    def attach_store(self, store) -> None:
+        """Attach (or with ``None`` detach) a shared on-disk
+        :class:`~repro.experiments.schedule_store.ScheduleStore` as the
+        second cache tier.
+
+        On an in-memory miss the store is consulted before building; a
+        fetched schedule is installed in memory and counted as a
+        *store hit*, not a miss — ``misses`` keeps meaning "a build
+        happened here" and the stats the bench reports stay truthful.
+        Every build is published back write-through, so concurrent
+        processes over the same topology dedup to one build.
+        """
+        self._store = store
+
+    @property
+    def store(self):
+        """The attached on-disk store, or ``None``."""
+        return self._store
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -152,20 +172,38 @@ class ScheduleCache:
         return self._maxsize
 
     def get_or_build(self, key: Tuple, build: Callable[[], Schedule]) -> Schedule:
-        """Return the cached schedule for ``key``, building on miss."""
+        """Return the cached schedule for ``key``, building on miss.
+
+        Lookup order: in-memory LRU (``hits``), then the attached
+        on-disk store if any (its ``hits`` surface as ``store_hits``),
+        then an actual build (``misses`` — the counter means exactly
+        "builds performed here").  Total lookups are therefore
+        ``hits + store_hits + misses``.
+        """
         entries = self._entries
         schedule = entries.get(key)
         if schedule is not None:
             self.hits += 1
             entries.move_to_end(key)
             return schedule
+        if self._store is not None:
+            schedule = self._store.get(key)
+            if schedule is not None:
+                self._install(key, schedule)
+                return schedule
         self.misses += 1
         schedule = build()
+        self._install(key, schedule)
+        if self._store is not None:
+            self._store.put(key, schedule)
+        return schedule
+
+    def _install(self, key: Tuple, schedule: Schedule) -> None:
+        entries = self._entries
         entries[key] = schedule
         if len(entries) > self._maxsize:
             entries.popitem(last=False)
             self.evictions += 1
-        return schedule
 
     def peek(self, key: Tuple) -> Optional[Schedule]:
         """A counter-neutral lookup: the cached schedule or ``None``.
@@ -205,23 +243,34 @@ class ScheduleCache:
         self.preloads = 0
 
     def stats(self) -> Dict[str, int]:
-        """A snapshot of the counters (plus current size)."""
-        return {
+        """A snapshot of the counters (plus current size).
+
+        ``store_hits``/``store_misses`` appear only while an on-disk
+        store is attached; ``misses`` always equals builds performed.
+        """
+        counters = {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "preloads": self.preloads,
             "size": len(self._entries),
         }
+        if self._store is not None:
+            counters["store_hits"] = self._store.hits
+            counters["store_misses"] = self._store.misses
+        return counters
 
     def summary(self) -> str:
         """One line for CLI/bench output."""
-        total = self.hits + self.misses
-        ratio = (100.0 * self.hits / total) if total else 0.0
+        store_hits = self._store.hits if self._store is not None else 0
+        total = self.hits + store_hits + self.misses
+        ratio = (100.0 * (self.hits + store_hits) / total) if total else 0.0
         line = (
             f"schedule cache: {self.hits} hits / {self.misses} misses "
             f"({ratio:.0f}% hit rate), {len(self._entries)}/{self._maxsize} entries"
         )
+        if self._store is not None:
+            line += f", {store_hits} store hits"
         if self.evictions or self.preloads:
             line += f", {self.evictions} evictions, {self.preloads} preloads"
         return line
@@ -255,12 +304,14 @@ def default_cache_stats() -> Dict[str, int]:
 
 
 def reset_default_cache() -> None:
-    """Drop the process-default cache's entries and counters.
+    """Drop the process-default cache's entries and counters, and
+    detach any on-disk store.
 
     For test isolation and long-lived tooling sessions; sweeps never
     need it (the LRU bound caps retention).
     """
     _DEFAULT_CACHE.clear()
+    _DEFAULT_CACHE.attach_store(None)
 
 
 def schedule_cache_enabled() -> bool:
@@ -268,13 +319,29 @@ def schedule_cache_enabled() -> bool:
     return _ENABLED
 
 
-def configure_schedule_cache(enabled: Optional[bool] = None) -> None:
-    """Process-wide kill switch (the CLI's ``--no-schedule-cache``).
+#: Sentinel: "leave the store attachment as it is".
+_KEEP_STORE = object()
 
-    Only affects the *current* process — worker processes of a parallel
-    sweep decide from the pickled ``ExperimentConfig.use_schedule_cache``
-    flag instead, which travels with the sweep.
+
+def configure_schedule_cache(
+    enabled: Optional[bool] = None, store: object = _KEEP_STORE
+) -> None:
+    """Process-wide cache configuration.
+
+    ``enabled`` is the kill switch (the CLI's ``--no-schedule-cache``);
+    ``store`` attaches a shared on-disk tier to the default cache — a
+    :class:`~repro.experiments.schedule_store.ScheduleStore`, a path to
+    create one at, or ``None`` to detach.  Only affects the *current*
+    process — worker processes of a parallel sweep decide from the
+    pickled ``ExperimentConfig.use_schedule_cache`` flag instead (and
+    the service's shard workers attach their store explicitly).
     """
     global _ENABLED
     if enabled is not None:
         _ENABLED = enabled
+    if store is not _KEEP_STORE:
+        if store is not None and not hasattr(store, "get"):
+            from .schedule_store import ScheduleStore
+
+            store = ScheduleStore(store)
+        _DEFAULT_CACHE.attach_store(store)

@@ -26,14 +26,19 @@ from .registry import (
 )
 from .runner import ScenarioOutcome, ScenarioRunner, format_comparison
 from .spec import (
+    DECISION_FUNCTIONS,
     NOISE_REGIMES,
+    PERTURBATION_KINDS,
     TOPOLOGY_FAMILIES,
     ScenarioSpec,
     TopologySpec,
+    load_scenario_file,
 )
 
 __all__ = [
+    "DECISION_FUNCTIONS",
     "NOISE_REGIMES",
+    "PERTURBATION_KINDS",
     "ScenarioOutcome",
     "ScenarioRunner",
     "ScenarioSpec",
@@ -42,6 +47,7 @@ __all__ = [
     "format_comparison",
     "get_scenario",
     "iter_scenarios",
+    "load_scenario_file",
     "register_scenario",
     "scenario_names",
 ]

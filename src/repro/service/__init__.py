@@ -1,0 +1,63 @@
+"""The resilient experiment service: durable sweep jobs over HTTP.
+
+The ROADMAP's "experiment service + sharded sweep backend" altitude,
+assembled from the substrates the earlier PRs built:
+
+* :mod:`repro.service.state` — content-addressed job identity
+  (:func:`job_key`) and the ``queued→running→done/failed/quarantined``
+  state machine;
+* :mod:`repro.service.store` — the durable SQLite
+  :class:`JobStore` (dedup by primary key, atomic claims, crash
+  recovery via ``running→queued``);
+* :mod:`repro.service.scheduler` — the :class:`ShardScheduler`:
+  seed-range shards on supervised worker pools with heartbeat-aware
+  timeouts, retry/backoff, bisection down to quarantined poison seeds,
+  and checkpoint-merged reports bit-identical to serial runs;
+* :mod:`repro.service.api` — :class:`SweepService`, the stdlib
+  ``ThreadingHTTPServer`` front (submit/status/result, graceful drain);
+* :mod:`repro.service.client` — the urllib :class:`ServiceClient`
+  behind ``repro service submit|status|result``.
+
+The robustness contract, enforced by the chaos drills: worker death,
+service death (``kill -9``), duplicate submissions and malformed specs
+never produce a report that differs from an uninterrupted serial run —
+jobs either finish byte-identically or fail loudly with structured
+quarantine records.
+"""
+
+from .api import SweepService
+from .client import ServiceClient, ServiceError
+from .scheduler import JobInterrupted, ShardScheduler, lower_job
+from .state import (
+    DONE,
+    FAILED,
+    JOB_STATES,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobRecord,
+    check_transition,
+    job_key,
+)
+from .store import JobStore
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "JobInterrupted",
+    "JobRecord",
+    "JobStore",
+    "QUARANTINED",
+    "QUEUED",
+    "RUNNING",
+    "ServiceClient",
+    "ServiceError",
+    "ShardScheduler",
+    "SweepService",
+    "TERMINAL_STATES",
+    "check_transition",
+    "job_key",
+    "lower_job",
+]

@@ -1,0 +1,402 @@
+"""The sweep service: durable job queue behind a thin stdlib HTTP front.
+
+:class:`SweepService` ties the PR's pieces together into one
+long-running process:
+
+* submissions land in the durable :class:`~repro.service.store.JobStore`
+  (validated first — a malformed spec is a ``400``, never a crash, and
+  a duplicate dedups to the existing job by content-addressed id);
+* a single scheduler thread drains the queue FIFO through the
+  :class:`~repro.service.scheduler.ShardScheduler`;
+* ``GET /jobs/<id>`` serves the state machine plus live per-shard
+  progress and the ``service.*`` slice of the telemetry metrics
+  snapshot; ``GET /jobs/<id>/result`` serves the finished report's
+  exact bytes;
+* SIGTERM (wired in the CLI) triggers a graceful drain: the running
+  job's shards stop (their finished seeds are already checkpointed)
+  and the job goes back to ``queued``; the next start resumes it.
+
+HTTP endpoints::
+
+    POST /jobs               submit {"scenario": name | "spec": {...},
+                             "seeds", "base_seed", "kernel", "setup_kernel"}
+                             → 201 created / 200 deduped / 400 invalid
+    GET  /jobs               list all jobs (submission order)
+    GET  /jobs/<id>          status + progress + metrics
+    GET  /jobs/<id>/result   finished report (409 until terminal)
+    GET  /healthz            liveness probe
+
+The server is :class:`~http.server.ThreadingHTTPServer` — stdlib only,
+no new dependencies, good enough for the lab-scale concurrency the
+service targets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..errors import ConfigurationError, ReproError, invalid_field
+from ..experiments import RetryPolicy, ServiceHalt
+from ..scenarios import ScenarioSpec, get_scenario
+from ..telemetry import default_registry
+from .scheduler import JobInterrupted, ShardScheduler, lower_job
+from .state import (
+    DONE,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    TERMINAL_STATES,
+    JobRecord,
+    job_key,
+)
+from .store import JobStore
+
+#: Fields a submission payload may carry.
+_SUBMIT_FIELDS = frozenset(
+    {"scenario", "spec", "seeds", "base_seed", "kernel", "setup_kernel"}
+)
+
+
+class SweepService:
+    """The long-running sweep service (store + scheduler + HTTP front).
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`url` reports the
+    actual address once :meth:`start` has run.
+    """
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_workers: int = 2,
+        shards_per_job: Optional[int] = None,
+        shard_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        schedule_store: Optional[Union[str, Path]] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self._data_dir = Path(data_dir)
+        self._data_dir.mkdir(parents=True, exist_ok=True)
+        self._store = JobStore(self._data_dir / "jobs.sqlite")
+        self._scheduler = ShardScheduler(
+            self._data_dir,
+            shard_workers=shard_workers,
+            shards_per_job=shards_per_job,
+            shard_timeout=shard_timeout,
+            retry=retry,
+            schedule_store=schedule_store,
+            poll_interval=poll_interval,
+        )
+        self._host = host
+        self._port = port
+        self._stop = threading.Event()
+        self._progress: Dict[str, Dict[str, object]] = {}
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._drain_thread: Optional[threading.Thread] = None
+        self.halted = False  # set by the chaos harness's ServiceHalt
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> JobStore:
+        """The durable job store."""
+        return self._store
+
+    @property
+    def stopping(self) -> bool:
+        """Whether the service has been asked to stop (drain or halt)."""
+        return self._stop.is_set()
+
+    @property
+    def url(self) -> str:
+        """The service's base URL (valid after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("service not started")
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "SweepService":
+        """Recover crashed jobs, start the scheduler loop and the HTTP
+        server (both in daemon threads); returns ``self``."""
+        recovered = self._store.recover()
+        if recovered:
+            default_registry().inc("service.recovered_jobs", recovered)
+        self._stop.clear()
+        self.halted = False
+        self._drain_thread = threading.Thread(
+            target=self._drain_loop, name="sweep-scheduler", daemon=True
+        )
+        self._drain_thread.start()
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="sweep-http", daemon=True
+        )
+        self._http_thread.start()
+        return self
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown (the SIGTERM path): stop accepting HTTP,
+        stop the running job's shards (checkpointed seeds survive),
+        re-queue it, and return once both threads have stopped."""
+        self._stop.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._drain_thread is not None:
+            self._drain_thread.join(timeout=timeout)
+        self._scheduler.close(kill=True)
+
+    # ------------------------------------------------------------------
+    # Submission (shared by HTTP and any in-process caller)
+    # ------------------------------------------------------------------
+    def submit(self, payload: object) -> Tuple[JobRecord, bool]:
+        """Validate one submission payload and enqueue (or dedup) it.
+
+        Raises :class:`~repro.errors.ConfigurationError` on any invalid
+        payload — the HTTP layer maps that to a 400.
+        """
+        if not isinstance(payload, dict):
+            raise invalid_field(
+                "Job", "payload", type(payload).__name__,
+                "a submission must be a JSON object",
+            )
+        unknown = sorted(set(payload) - _SUBMIT_FIELDS)
+        if unknown:
+            raise invalid_field(
+                "Job", "payload", unknown,
+                f"unknown field(s); known fields: {sorted(_SUBMIT_FIELDS)}",
+            )
+        has_name = "scenario" in payload
+        has_spec = "spec" in payload
+        if has_name == has_spec:
+            raise invalid_field(
+                "Job", "payload", sorted(payload),
+                "exactly one of 'scenario' (a registered name) or "
+                "'spec' (a spec document) is required",
+            )
+        if has_name:
+            spec = get_scenario(payload["scenario"])
+        else:
+            spec_doc = payload["spec"]
+            if not isinstance(spec_doc, dict):
+                raise invalid_field(
+                    "Job", "spec", type(spec_doc).__name__,
+                    "the spec must be a JSON object (ScenarioSpec.to_dict form)",
+                )
+            spec = ScenarioSpec.from_dict(spec_doc)
+        for field in ("seeds", "base_seed"):
+            value = payload.get(field)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise invalid_field("Job", field, value, "must be an integer")
+        kernel = payload.get("kernel")
+        setup_kernel = payload.get("setup_kernel")
+        # Lowering validates everything else (kernel names, repeats >= 1,
+        # placements) exactly as a direct run would.
+        _, config = lower_job(
+            spec,
+            repeats=payload.get("seeds"),
+            base_seed=payload.get("base_seed"),
+            kernel=kernel,
+            setup_kernel=setup_kernel,
+        )
+        job_id = job_key(
+            spec, config.repeats, config.base_seed, kernel, setup_kernel
+        )
+        record = JobRecord(
+            job_id=job_id,
+            spec_json=spec.to_json(indent=None),
+            repeats=config.repeats,
+            base_seed=config.base_seed,
+            kernel=kernel,
+            setup_kernel=setup_kernel,
+            state=QUEUED,
+        )
+        record, created = self._store.submit(record)
+        default_registry().inc(
+            "service.submissions.created" if created else "service.submissions.deduped"
+        )
+        return record, created
+
+    # ------------------------------------------------------------------
+    # Status views
+    # ------------------------------------------------------------------
+    def describe(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The status-endpoint document for one job, or ``None``."""
+        record = self._store.get(job_id)
+        if record is None:
+            return None
+        info = record.describe()
+        progress = self._progress.get(job_id)
+        if progress is not None:
+            info["progress"] = progress
+        snapshot = default_registry().snapshot()
+        info["metrics"] = {
+            "counters": {
+                k: v
+                for k, v in snapshot["counters"].items()
+                if k.startswith("service.")
+            },
+            "gauges": {
+                k: v
+                for k, v in snapshot["gauges"].items()
+                if k.startswith("service.")
+            },
+        }
+        return info
+
+    # ------------------------------------------------------------------
+    # The scheduler loop
+    # ------------------------------------------------------------------
+    def _drain_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self._store.claim_next()
+            if job is None:
+                self._stop.wait(0.05)
+                continue
+            self._run_one(job)
+
+    def _run_one(self, job: JobRecord) -> None:
+        try:
+            spec = job.spec()
+            outcome = self._scheduler.run_job(
+                spec,
+                repeats=job.repeats,
+                base_seed=job.base_seed,
+                kernel=job.kernel,
+                setup_kernel=job.setup_kernel,
+                stop=self._stop,
+                on_progress=lambda p: self._progress.__setitem__(job.job_id, p),
+            )
+        except JobInterrupted:
+            # Graceful drain: back to the queue, checkpoint keeps the
+            # finished seeds.
+            self._store.transition(job.job_id, QUEUED)
+        except ServiceHalt:
+            # The chaos harness's kill -9 stand-in: die *without*
+            # touching the job record — recovery must do that work.
+            self.halted = True
+            self._stop.set()
+        except ReproError as exc:
+            self._store.transition(job.job_id, FAILED, error=str(exc))
+        except Exception as exc:  # a worker bug must not kill the service
+            self._store.transition(
+                job.job_id, FAILED, error=f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            state = QUARANTINED if outcome.failures else DONE
+            self._store.transition(
+                job.job_id, state, result_json=outcome.to_json()
+            )
+        finally:
+            self._progress.pop(job.job_id, None)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the owning :class:`SweepService`."""
+
+    server: ThreadingHTTPServer  # with a .service attribute
+
+    @property
+    def _service(self) -> SweepService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr request log (the service's own
+        telemetry covers observability)."""
+
+    # ------------------------------------------------------------------
+    def _reply(self, status: int, document: object) -> None:
+        body = json.dumps(document, sort_keys=True).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_raw(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path.rstrip("/") != "/jobs":
+            self._reply(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length)
+            try:
+                payload = json.loads(raw) if raw else {}
+            except ValueError:
+                self._reply(400, {"error": "request body is not valid JSON"})
+                return
+            record, created = self._service.submit(payload)
+        except ConfigurationError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # never a crash, never a traceback page
+            self._reply(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        else:
+            self._reply(
+                201 if created else 200,
+                {
+                    "job": record.job_id,
+                    "state": record.state,
+                    "created": created,
+                },
+            )
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            self._route_get()
+        except Exception as exc:
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _route_get(self) -> None:
+        parts = [p for p in self.path.split("/") if p]
+        if parts == ["healthz"]:
+            self._reply(200, {"ok": True})
+            return
+        if parts == ["jobs"]:
+            self._reply(
+                200,
+                {"jobs": [r.describe() for r in self._service.store.list_jobs()]},
+            )
+            return
+        if len(parts) == 2 and parts[0] == "jobs":
+            info = self._service.describe(parts[1])
+            if info is None:
+                self._reply(404, {"error": f"unknown job {parts[1]!r}"})
+            else:
+                self._reply(200, info)
+            return
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            record = self._service.store.get(parts[1])
+            if record is None:
+                self._reply(404, {"error": f"unknown job {parts[1]!r}"})
+            elif record.state in (DONE, QUARANTINED):
+                self._reply_raw(200, record.result_json.encode() + b"\n")
+            elif record.state in TERMINAL_STATES:  # failed
+                self._reply(409, {"state": record.state, "error": record.error})
+            else:
+                self._reply(409, {"state": record.state})
+            return
+        self._reply(404, {"error": f"no such endpoint: {self.path}"})

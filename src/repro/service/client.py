@@ -1,0 +1,119 @@
+"""A minimal stdlib client for the sweep service's HTTP API.
+
+Used by the ``repro service submit|status|result`` CLI and the smoke
+drill; kept free of third-party dependencies (``urllib`` only) for the
+same reason the server is.  Every call returns the decoded JSON
+document; HTTP error statuses surface as :class:`ServiceError` with
+the server's ``error`` field as the message, so callers never parse
+HTML tracebacks (the server never sends any).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from ..errors import ReproError
+
+
+class ServiceError(ReproError):
+    """An HTTP-level failure talking to the sweep service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def _request(
+    url: str, payload: Optional[Dict] = None, timeout: float = 30.0
+) -> Dict:
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        try:
+            document = json.loads(exc.read().decode())
+            message = document.get("error") or document.get("state") or str(exc)
+        except ValueError:
+            message = str(exc)
+        raise ServiceError(exc.code, message) from None
+    except urllib.error.URLError as exc:
+        raise ServiceError(0, f"cannot reach {url}: {exc.reason}") from None
+
+
+class ServiceClient:
+    """Talks to one running :class:`~repro.service.SweepService`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self._base = base_url.rstrip("/")
+        self._timeout = timeout
+
+    def health(self) -> Dict:
+        """Liveness probe (``GET /healthz``)."""
+        return _request(f"{self._base}/healthz", timeout=self._timeout)
+
+    def submit(self, payload: Dict) -> Dict:
+        """Submit a job; returns ``{"job", "state", "created"}``."""
+        return _request(f"{self._base}/jobs", payload, timeout=self._timeout)
+
+    def status(self, job_id: str) -> Dict:
+        """One job's status document."""
+        return _request(f"{self._base}/jobs/{job_id}", timeout=self._timeout)
+
+    def result(self, job_id: str) -> Dict:
+        """One finished job's report (raises :class:`ServiceError` with
+        status 409 while the job is still queued/running)."""
+        return _request(
+            f"{self._base}/jobs/{job_id}/result", timeout=self._timeout
+        )
+
+    def result_text(self, job_id: str) -> str:
+        """The finished report's exact bytes, as text — for byte-level
+        comparison against a direct run's ``to_json()``."""
+        request = urllib.request.Request(
+            f"{self._base}/jobs/{job_id}/result",
+            headers={"Accept": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as resp:
+                return resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            try:
+                document = json.loads(exc.read().decode())
+                message = document.get("error") or document.get("state") or str(exc)
+            except ValueError:
+                message = str(exc)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self._base}: {exc.reason}"
+            ) from None
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll: float = 0.2,
+    ) -> Dict:
+        """Poll until the job reaches a terminal state; returns the
+        final status document.  Raises :class:`ServiceError` (status 0)
+        on deadline."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "quarantined"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll)

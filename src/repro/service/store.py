@@ -1,0 +1,210 @@
+"""The durable job store: SQLite under the service's ``--data-dir``.
+
+Design rules, all in service of "a restart never loses a job":
+
+* **Content-addressed primary key** — the job id *is* :func:`~repro.service.state.job_key`,
+  so a duplicate submission is a primary-key collision resolved with
+  ``INSERT OR IGNORE``: the caller gets the existing record back and
+  ``created=False``.  Dedup is a property of the schema, not of any
+  in-memory index that a crash could lose.
+* **Per-call connections** — every method opens its own connection
+  (with a generous busy timeout), making the store object safe to use
+  from the HTTP handler threads and the scheduler thread concurrently,
+  and trivially correct across fork.
+* **Atomic claims** — :meth:`claim_next` moves ``queued → running``
+  inside a single ``UPDATE … WHERE state='queued'`` guarded by an
+  immediate transaction, so two scheduler threads (or a scheduler
+  racing a recovering restart) can never both run one job.
+* **No wall clock** — ordering uses a monotonically assigned
+  ``submit_order`` counter.  Nothing in the store (and therefore
+  nothing in any report served from it) depends on time or host.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from .state import (
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    check_transition,
+)
+
+#: Store format version (part of the table name: a format change can
+#: never silently read old rows).
+STORE_VERSION = 1
+
+_TABLE = f"jobs_v{STORE_VERSION}"
+
+
+class JobStore:
+    """Durable job records keyed by content-addressed job id."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {_TABLE} ("
+                "  job_id TEXT PRIMARY KEY,"
+                "  spec TEXT NOT NULL,"
+                "  repeats INTEGER NOT NULL,"
+                "  base_seed INTEGER NOT NULL,"
+                "  kernel TEXT,"
+                "  setup_kernel TEXT,"
+                "  state TEXT NOT NULL,"
+                "  error TEXT,"
+                "  result TEXT,"
+                "  submit_order INTEGER NOT NULL"
+                ")"
+            )
+
+    @property
+    def path(self) -> Path:
+        """The backing database file."""
+        return self._path
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self._path, timeout=30.0)
+        conn.execute("PRAGMA busy_timeout = 30000")
+        return conn
+
+    # ------------------------------------------------------------------
+    # Submission (dedup by construction)
+    # ------------------------------------------------------------------
+    def submit(self, record: JobRecord) -> Tuple[JobRecord, bool]:
+        """Insert a new job, or return the existing one it dedups to.
+
+        Returns ``(record_on_disk, created)``.  The insert and the
+        read-back run under one immediate transaction so a racing
+        duplicate observes either nothing or the complete row.
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            (order,) = conn.execute(
+                f"SELECT COALESCE(MAX(submit_order), 0) + 1 FROM {_TABLE}"
+            ).fetchone()
+            cursor = conn.execute(
+                f"INSERT OR IGNORE INTO {_TABLE} "
+                "(job_id, spec, repeats, base_seed, kernel, setup_kernel,"
+                " state, error, result, submit_order) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, NULL, NULL, ?)",
+                (
+                    record.job_id,
+                    record.spec_json,
+                    record.repeats,
+                    record.base_seed,
+                    record.kernel,
+                    record.setup_kernel,
+                    QUEUED,
+                    order,
+                ),
+            )
+            created = cursor.rowcount == 1
+            row = conn.execute(
+                f"SELECT * FROM {_TABLE} WHERE job_id = ?", (record.job_id,)
+            ).fetchone()
+        return self._record(row), created
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        """The job record, or ``None`` for an unknown id."""
+        with self._connect() as conn:
+            row = conn.execute(
+                f"SELECT * FROM {_TABLE} WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return self._record(row) if row is not None else None
+
+    def list_jobs(self) -> List[JobRecord]:
+        """Every job, in submission order."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                f"SELECT * FROM {_TABLE} ORDER BY submit_order"
+            ).fetchall()
+        return [self._record(row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # State changes
+    # ------------------------------------------------------------------
+    def claim_next(self) -> Optional[JobRecord]:
+        """Atomically claim the oldest queued job (``queued→running``)."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                f"SELECT job_id FROM {_TABLE} WHERE state = ? "
+                "ORDER BY submit_order LIMIT 1",
+                (QUEUED,),
+            ).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                f"UPDATE {_TABLE} SET state = ? WHERE job_id = ? AND state = ?",
+                (RUNNING, row[0], QUEUED),
+            )
+            claimed = conn.execute(
+                f"SELECT * FROM {_TABLE} WHERE job_id = ?", (row[0],)
+            ).fetchone()
+        return self._record(claimed)
+
+    def transition(
+        self,
+        job_id: str,
+        new_state: str,
+        error: Optional[str] = None,
+        result_json: Optional[str] = None,
+    ) -> JobRecord:
+        """Move one job along a validated state-machine edge."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                f"SELECT state FROM {_TABLE} WHERE job_id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            check_transition(row[0], new_state)
+            conn.execute(
+                f"UPDATE {_TABLE} SET state = ?, error = ?, result = ? "
+                "WHERE job_id = ?",
+                (new_state, error, result_json, job_id),
+            )
+            updated = conn.execute(
+                f"SELECT * FROM {_TABLE} WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return self._record(updated)
+
+    def recover(self) -> int:
+        """Crash recovery at service start: every job the previous
+        process died holding ``running`` goes back to ``queued``.  Its
+        checkpoint retains the finished seeds, so re-running costs only
+        the remainder.  Returns the number of jobs re-queued."""
+        with self._connect() as conn:
+            cursor = conn.execute(
+                f"UPDATE {_TABLE} SET state = ? WHERE state = ?",
+                (QUEUED, RUNNING),
+            )
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(row: Tuple) -> JobRecord:
+        (
+            job_id, spec, repeats, base_seed, kernel, setup_kernel,
+            state, error, result, submit_order,
+        ) = row
+        return JobRecord(
+            job_id=job_id,
+            spec_json=spec,
+            repeats=repeats,
+            base_seed=base_seed,
+            kernel=kernel,
+            setup_kernel=setup_kernel,
+            state=state,
+            error=error,
+            result_json=result,
+            submit_order=submit_order,
+        )

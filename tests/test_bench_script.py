@@ -47,6 +47,9 @@ class TestBenchQuickMode:
         assert data["meta"]["workers"] == 2
         assert data["meta"]["cpu_count"] >= 1
         assert data["meta"]["python"] == ".".join(map(str, sys.version_info[:3]))
+        assert data["meta"]["host"]["cpu_count"] == data["meta"]["cpu_count"]
+        assert data["meta"]["host"]["python"] == data["meta"]["python"]
+        assert data["meta"]["host"]["cpu_model"]
 
     def test_all_quick_workloads_present(self, bench_output):
         _, out = bench_output
@@ -205,6 +208,59 @@ class TestRegressionGate:
         second = bench.default_output_path()
         assert second != first
         assert second.name.endswith("b.json")
+
+
+class TestHostFingerprint:
+    def test_fingerprint_shape(self, bench):
+        fingerprint = bench.host_fingerprint()
+        assert set(fingerprint) == {"cpu_model", "cpu_count", "python"}
+        assert fingerprint["cpu_count"] >= 1
+        assert fingerprint["python"] == bench.platform.python_version()
+        # Deterministic on one host: that is what makes it comparable.
+        assert fingerprint == bench.host_fingerprint()
+
+    def test_cross_host_regression_warns_but_passes(
+        self, bench, tmp_path, monkeypatch, capsys
+    ):
+        """A regression against a baseline from *different* hardware is
+        a warning, not a failure — the delta measures the machines."""
+        baseline_suite = _fake_suite(20.0)
+        baseline_suite["meta"]["host"] = {
+            "cpu_model": "Imaginary CPU @ 9.99GHz",
+            "cpu_count": 128,
+            "python": "3.0.0",
+        }
+        baseline = tmp_path / "BENCH_prev.json"
+        baseline.write_text(json.dumps(baseline_suite))
+        current = _fake_suite(10.0)
+        current["meta"]["host"] = bench.host_fingerprint()
+        monkeypatch.setattr(
+            bench, "run_suite", lambda workers, quick, telemetry_dir=None: current
+        )
+        out = tmp_path / "b.json"
+        assert (
+            bench.main(["--quick", "--out", str(out), "--baseline", str(baseline)])
+            == 0
+        )
+        assert "fingerprint differs" in capsys.readouterr().err
+
+    def test_same_host_regression_still_fails(
+        self, bench, tmp_path, monkeypatch
+    ):
+        baseline_suite = _fake_suite(20.0)
+        baseline_suite["meta"]["host"] = bench.host_fingerprint()
+        baseline = tmp_path / "BENCH_prev.json"
+        baseline.write_text(json.dumps(baseline_suite))
+        current = _fake_suite(10.0)
+        current["meta"]["host"] = bench.host_fingerprint()
+        monkeypatch.setattr(
+            bench, "run_suite", lambda workers, quick, telemetry_dir=None: current
+        )
+        out = tmp_path / "b.json"
+        assert (
+            bench.main(["--quick", "--out", str(out), "--baseline", str(baseline)])
+            == 1
+        )
 
 
 class TestArtifactsPreservation:

@@ -335,3 +335,106 @@ class TestDefaultCacheAccessors:
             "preloads": 0,
             "size": 0,
         }
+
+
+class TestScheduleStore:
+    """Satellite: the optional shared on-disk tier under the LRU."""
+
+    def _key(self, grid5):
+        cfg = ExperimentConfig(repeats=1, schedule_jitter=False)
+        return _key(grid5, cfg, 0)
+
+    def test_round_trip_and_counters(self, tmp_path, grid5, grid5_schedule):
+        from repro.experiments import ScheduleStore
+
+        store = ScheduleStore(tmp_path / "schedules.sqlite")
+        key = self._key(grid5)
+        assert store.get(key) is None
+        assert (store.hits, store.misses) == (0, 1)
+        store.put(key, grid5_schedule)
+        fetched = store.get(key)
+        assert (store.hits, store.misses) == (1, 1)
+        assert fetched.slots() == grid5_schedule.slots()
+        assert all(
+            fetched.parent_of(n) == grid5_schedule.parent_of(n)
+            for n in grid5.nodes
+        )
+
+    def test_first_writer_wins_and_publish_is_idempotent(
+        self, tmp_path, grid5, grid5_schedule
+    ):
+        from repro.experiments import ScheduleStore
+
+        store = ScheduleStore(tmp_path / "schedules.sqlite")
+        key = self._key(grid5)
+        store.put(key, grid5_schedule)
+        store.put(key, grid5_schedule)  # the racing duplicate write
+        assert len(store) == 1
+        # A second store object over the same file sees the row — the
+        # cross-process sharing the tier exists for.
+        other = ScheduleStore(tmp_path / "schedules.sqlite")
+        assert other.get(key) is not None
+
+    def test_corrupt_row_reads_as_absent(self, tmp_path, grid5):
+        import sqlite3
+
+        from repro.experiments import ScheduleStore
+        from repro.experiments.schedule_store import _TABLE, store_key
+
+        store = ScheduleStore(tmp_path / "schedules.sqlite")
+        key = self._key(grid5)
+        with sqlite3.connect(store.path) as conn:
+            conn.execute(
+                f"INSERT INTO {_TABLE} (key, schedule) VALUES (?, ?)",
+                (store_key(key), b"torn write, not a pickle"),
+            )
+        assert store.get(key) is None  # rebuilt by the caller, not a crash
+        assert store.misses == 1
+
+    def test_second_process_fetches_instead_of_rebuilding(
+        self, tmp_path, grid5
+    ):
+        """Two caches over one store: the first builds and publishes,
+        the second fetches — and the stats stay truthful (`misses`
+        means builds performed, a store fetch is a `store_hit`)."""
+        from repro.experiments import ScheduleStore
+
+        store = ScheduleStore(tmp_path / "schedules.sqlite")
+        cfg = ExperimentConfig(repeats=1)
+
+        first = ScheduleCache()
+        first.attach_store(store)
+        ExperimentRunner(grid5, schedule_cache=first).build_schedule(cfg, 0)
+        assert first.stats()["misses"] == 1  # the one real build
+
+        second = ScheduleCache()
+        second.attach_store(ScheduleStore(tmp_path / "schedules.sqlite"))
+        runner = ExperimentRunner(grid5, schedule_cache=second)
+        fetched = runner.build_schedule(cfg, 0)
+        stats = second.stats()
+        assert stats["misses"] == 0  # no build happened here
+        assert stats["store_hits"] == 1
+        assert "store hits" in second.summary()
+        # ...and the fetched schedule is the real thing: a third lookup
+        # is a plain in-memory hit on the installed entry.
+        assert runner.build_schedule(cfg, 0) is fetched
+        assert second.stats()["hits"] == 1
+
+    def test_store_is_opt_in_and_detachable(self, tmp_path, restore_default_cache):
+        cache = ScheduleCache()
+        assert cache.store is None  # the LRU stays the default tier
+        assert "store_hits" not in cache.stats()
+        # configure_schedule_cache accepts a path and builds the store;
+        # reset_default_cache detaches it again.
+        configure_schedule_cache(store=tmp_path / "schedules.sqlite")
+        assert default_schedule_cache().store is not None
+        reset_default_cache()
+        assert default_schedule_cache().store is None
+
+    def test_store_key_is_content_addressed(self, grid5):
+        from repro.experiments import store_key
+
+        cfg = ExperimentConfig(repeats=1)
+        a = store_key(_key(grid5, cfg, 0))
+        assert a == store_key(_key(GridTopology(5), cfg, 0))
+        assert a != store_key(_key(grid5, cfg, 1))
