@@ -72,6 +72,13 @@ class DecisionFunction(ABC):
     def __hash__(self) -> int:
         return hash(type(self))
 
+    # The repr must be a pure function of the value (never the default
+    # ``<... object at 0x...>``): it feeds the sweep checkpoint's
+    # content digest, which two processes — a scheduler and a worker on
+    # another host — must derive identically or resume breaks.
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
 
 def _earliest(heard: Sequence[HeardMessage]) -> HeardMessage:
     """The first message captured: minimum ``(time, slot, sender)``."""

@@ -391,6 +391,8 @@ def _cmd_service_start(args: argparse.Namespace) -> int:
         shard_timeout=args.shard_timeout,
         retry=retry,
         schedule_store=args.schedule_store,
+        remote=args.remote,
+        max_jobs=args.max_jobs,
     )
     stop_requested = threading.Event()
 
@@ -402,10 +404,84 @@ def _cmd_service_start(args: argparse.Namespace) -> int:
     service.start()
     _status(args, f"sweep service listening on {service.url}")
     _status(args, f"data dir: {Path(args.data_dir).resolve()}")
+    if args.remote:
+        _status(
+            args,
+            "remote mode: shards run on 'repro-slp-das worker start "
+            f"--connect {service.url}' workers",
+        )
     while not stop_requested.is_set() and not service.stopping:
         stop_requested.wait(0.2)
-    _status(args, "draining: stopping shards, re-queueing the running job")
+    _status(args, "draining: stopping shards, re-queueing running jobs")
     service.drain()
+    return 0
+
+
+def _cmd_service_gc(args: argparse.Namespace) -> int:
+    from .experiments import SweepCheckpoint
+    from .service import JobStore, lower_job
+
+    store_path = Path(args.data_dir) / "jobs.sqlite"
+    if not store_path.exists():
+        print(f"error: no job store at {store_path}", file=sys.stderr)
+        return 2
+    store = JobStore(store_path)
+    evicted = store.gc(args.keep)
+    checkpoint = SweepCheckpoint(Path(args.data_dir) / "checkpoints")
+    pruned = 0
+    for record in evicted:
+        # Best-effort: drop the evicted job's per-seed checkpoint too
+        # (its report blob is gone, so the seeds only cost disk).
+        try:
+            topology, config = lower_job(
+                record.spec(),
+                repeats=record.repeats,
+                base_seed=record.base_seed,
+                kernel=record.kernel,
+                setup_kernel=record.setup_kernel,
+            )
+            checkpoint.clear(checkpoint.key_for(topology, config))
+            pruned += 1
+        except Exception:
+            continue
+    _status(
+        args,
+        f"evicted {len(evicted)} result blob(s), pruned {pruned} "
+        f"checkpoint file(s); kept the {args.keep} most recent",
+    )
+    for record in evicted:
+        print(record.job_id)
+    return 0
+
+
+def _cmd_worker_start(args: argparse.Namespace) -> int:
+    import signal
+
+    from .experiments import RetryPolicy
+    from .service import ShardWorker
+
+    retry = (
+        RetryPolicy(max_attempts=args.max_attempts)
+        if args.max_attempts is not None
+        else None
+    )
+    worker = ShardWorker(
+        args.connect,
+        worker_id=args.id,
+        poll_interval=args.poll,
+        timeout=args.timeout,
+        retry=retry,
+        idle_exit=args.idle_exit,
+    )
+
+    def _on_signal(signum: int, frame: object) -> None:
+        worker.request_stop()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    _status(args, f"worker {worker.worker_id} pulling from {args.connect}")
+    executed = worker.run()
+    _status(args, f"worker {worker.worker_id} exiting ({executed} seeds run)")
     return 0
 
 
@@ -781,8 +857,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a shared on-disk schedule store so concurrent jobs "
         "over one topology dedup schedule builds",
     )
+    svc_start.add_argument(
+        "--remote",
+        action="store_true",
+        help="run shards on remote workers ('worker start --connect') "
+        "leasing over HTTP instead of a local process pool; "
+        "--shard-timeout becomes the lease timeout (default 60s)",
+    )
+    svc_start.add_argument(
+        "--max-jobs",
+        type=int,
+        default=1,
+        help="jobs to run concurrently (default 1: FIFO)",
+    )
     svc_start.add_argument("--quiet", action="store_true")
     svc_start.set_defaults(func=_cmd_service_start)
+
+    svc_gc = service_sub.add_parser(
+        "gc",
+        help="evict old terminal jobs' result blobs (records stay for "
+        "dedup); run offline against the service's --data-dir",
+    )
+    svc_gc.add_argument(
+        "--data-dir",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="the service's durable state directory",
+    )
+    svc_gc.add_argument(
+        "--keep",
+        type=int,
+        required=True,
+        metavar="N",
+        help="keep the N most recently submitted terminal results "
+        "(ordering is the store's submit counter, never a wall clock)",
+    )
+    svc_gc.add_argument("--quiet", action="store_true")
+    svc_gc.set_defaults(func=_cmd_service_gc)
 
     svc_submit = service_sub.add_parser(
         "submit", help="submit a scenario (name or spec JSON file) as a job"
@@ -836,6 +948,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     svc_result.add_argument("--quiet", action="store_true")
     svc_result.set_defaults(func=_cmd_service_result)
+
+    worker = sub.add_parser(
+        "worker",
+        help="remote shard workers for a --remote sweep service",
+    )
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+
+    wrk_start = worker_sub.add_parser(
+        "start",
+        help="pull shard leases from a remote-mode service, run them, "
+        "and upload results (SIGTERM drains gracefully)",
+    )
+    wrk_start.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="base URL of a 'service start --remote' instance",
+    )
+    wrk_start.add_argument(
+        "--id",
+        default=None,
+        help="stable worker id (default: hostname-pid)",
+    )
+    wrk_start.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="idle claim-poll interval",
+    )
+    wrk_start.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-request HTTP timeout",
+    )
+    wrk_start.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="transport retry attempts per request before the shard "
+        "is abandoned to the lease timeout",
+    )
+    wrk_start.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit once no work has been claimable for this long "
+        "(default: poll forever)",
+    )
+    wrk_start.add_argument("--quiet", action="store_true")
+    wrk_start.set_defaults(func=_cmd_worker_start)
 
     show = sub.add_parser("show", help="visualise a refined schedule")
     show.add_argument("--size", type=int, default=11, choices=PAPER_SIZES)

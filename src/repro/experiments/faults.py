@@ -42,11 +42,37 @@ Fault kinds
     process would.  Fires once per seed; the restart-and-resume drill
     in the service chaos tests is built on it.
 
-Once-only faults (crash, hang, transient, pickle, halt) coordinate across
-processes and retries through marker files in ``marker_dir``: the
-first process to atomically create ``<kind>-<seed>`` wins the right to
-fire the fault, every later attempt proceeds normally.  ``poison`` and
-``perturb`` need no markers — they fire unconditionally.
+Network chaos (the remote-worker transport's fault points;
+see :mod:`repro.service.worker`):
+
+``drop_requests``
+    The worker transport's *n*-th HTTP request (a 1-based per-transport
+    ordinal) is dropped on the floor before it is sent — the client
+    sees a connection error, the server sees nothing.  Fires once per
+    ordinal; the transport's bounded retry/backoff must absorb it.
+``delay_requests``
+    The *n*-th request sleeps ``delay_seconds`` before being sent —
+    latency, not loss.  Fires once per ordinal.
+``duplicate_uploads``
+    The upload of the listed seed's result is sent *twice*, back to
+    back — the replayed-datagram case.  Fires unconditionally (no
+    marker): the server's ``(job, shard, seed)`` dedup must make every
+    replay harmless, however often it happens.
+``partition_worker``
+    Immediately before uploading the listed seed's result, the worker
+    is cut off from the network for ``partition_seconds``: every
+    request (uploads *and* new claims) fails client-side without being
+    sent.  The server-side lease stalls, is revoked, and the shard is
+    re-queued to a healthy worker; when the partition heals, the
+    stranded worker's late traffic must dedup away.  Fires once per
+    seed.
+
+Once-only faults (crash, hang, transient, pickle, halt, drop, delay,
+partition) coordinate across processes and retries through marker
+files in ``marker_dir``: the first process to atomically create
+``<kind>-<seed>`` wins the right to fire the fault, every later
+attempt proceeds normally.  ``poison``, ``perturb`` and ``duplicate``
+need no markers — they fire unconditionally.
 
 Nothing in this module runs unless a plan is active: the hot paths
 call :func:`active_fault_plan`, which is a cached environment lookup
@@ -103,7 +129,13 @@ class FaultPlan:
     pickle_seeds: Tuple[int, ...] = ()
     perturb_seeds: Tuple[int, ...] = ()
     halt_seeds: Tuple[int, ...] = ()
+    drop_requests: Tuple[int, ...] = ()
+    delay_requests: Tuple[int, ...] = ()
+    duplicate_uploads: Tuple[int, ...] = ()
+    partition_worker: Tuple[int, ...] = ()
     hang_seconds: float = 30.0
+    delay_seconds: float = 0.05
+    partition_seconds: float = 2.0
     marker_dir: str = ""
 
     def __post_init__(self) -> None:
@@ -113,6 +145,9 @@ class FaultPlan:
             "transient_seeds",
             "pickle_seeds",
             "halt_seeds",
+            "drop_requests",
+            "delay_requests",
+            "partition_worker",
         ):
             if getattr(self, name) and not self.marker_dir:
                 raise ValueError(
@@ -196,6 +231,30 @@ class FaultPlan:
                 raise ServiceHalt(
                     f"injected service halt before shard containing seed {seed}"
                 )
+
+    # ------------------------------------------------------------------
+    # Network chaos (remote-worker transport fault points)
+    # ------------------------------------------------------------------
+    def transport_drop(self, ordinal: int) -> bool:
+        """Whether the transport's ``ordinal``-th request should be
+        dropped before it is sent (once per listed ordinal)."""
+        return ordinal in self.drop_requests and self._once("drop", ordinal)
+
+    def transport_delay(self, ordinal: int) -> bool:
+        """Whether the ``ordinal``-th request should sleep
+        ``delay_seconds`` before being sent (once per listed ordinal)."""
+        return ordinal in self.delay_requests and self._once("delay", ordinal)
+
+    def partition_before_upload(self, seed: int) -> bool:
+        """Whether the worker should partition itself for
+        ``partition_seconds`` instead of uploading ``seed``'s result
+        (once per listed seed)."""
+        return seed in self.partition_worker and self._once("partition", seed)
+
+    def duplicate_upload(self, seed: int) -> bool:
+        """Whether ``seed``'s upload should be sent twice
+        (unconditional — replays must always be harmless)."""
+        return seed in self.duplicate_uploads
 
     def on_result(self, config: object, seed: int, result):
         """Corrupt a completed non-legacy-kernel result (guard drills).

@@ -502,12 +502,24 @@ class SweepCheckpoint:
 
     def append(self, key: str, seed: int, result: OperationalResult) -> None:
         """Record one completed seed (flushed immediately, so results
-        survive whatever interrupts the sweep next)."""
+        survive whatever interrupts the sweep next).
+
+        A crash can tear the previous append mid-line, leaving the file
+        without a trailing newline; writing straight after it would
+        weld this (good) record onto that (doomed) fragment and lose
+        both.  Sealing the torn line first confines the damage to the
+        seed that was already lost.
+        """
         line = json.dumps(
             {"seed": seed, "result": result_to_dict(result)}, sort_keys=True
         )
-        with self.path_for(key).open("a") as handle:
-            handle.write(line + "\n")
+        with self.path_for(key).open("a+b") as handle:
+            handle.seek(0, 2)
+            if handle.tell() > 0:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode() + b"\n")
             handle.flush()
 
     def clear(self, key: str) -> None:

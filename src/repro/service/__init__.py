@@ -14,20 +14,35 @@ assembled from the substrates the earlier PRs built:
   timeouts, retry/backoff, bisection down to quarantined poison seeds,
   and checkpoint-merged reports bit-identical to serial runs;
 * :mod:`repro.service.api` — :class:`SweepService`, the stdlib
-  ``ThreadingHTTPServer`` front (submit/status/result, graceful drain);
+  ``ThreadingHTTPServer`` front (submit/status/result, shard leases,
+  graceful drain, ``--max-jobs`` concurrent dispatch);
+* :mod:`repro.service.transport` — the server side of the multi-host
+  worker transport: the :class:`ShardBoard` lease table (claims,
+  idempotent seed uploads that double as heartbeats, blame-free
+  revocation of stalled leases) and the :class:`RemoteShardScheduler`
+  that supervises a job through it;
+* :mod:`repro.service.worker` — the remote worker
+  (``repro worker start --connect``): :class:`WorkerTransport` with
+  explicit timeouts, bounded retry/backoff and the injected network
+  chaos, and the :class:`ShardWorker` pull-execute-upload loop with
+  graceful SIGTERM drain;
 * :mod:`repro.service.client` — the urllib :class:`ServiceClient`
-  behind ``repro service submit|status|result``.
+  behind ``repro service submit|status|result`` (explicit timeouts,
+  bounded retry with backoff on connection failures).
 
-The robustness contract, enforced by the chaos drills: worker death,
-service death (``kill -9``), duplicate submissions and malformed specs
-never produce a report that differs from an uninterrupted serial run —
-jobs either finish byte-identically or fail loudly with structured
-quarantine records.
+The robustness contract, enforced by the chaos drills: worker death
+(local pool or remote ``kill -9``), service death, network drops,
+delays, duplicated uploads, partitions, duplicate submissions and
+malformed specs never produce a report that differs from an
+uninterrupted serial run — jobs either finish byte-identically or fail
+loudly with structured quarantine records.
 """
 
 from .api import SweepService
 from .client import ServiceClient, ServiceError
 from .scheduler import JobInterrupted, ShardScheduler, lower_job
+from .transport import RemoteShardScheduler, ShardBoard
+from .worker import ShardWorker, TransportError, WorkerTransport, worker_main
 from .state import (
     DONE,
     FAILED,
@@ -52,12 +67,18 @@ __all__ = [
     "QUARANTINED",
     "QUEUED",
     "RUNNING",
+    "RemoteShardScheduler",
     "ServiceClient",
     "ServiceError",
+    "ShardBoard",
     "ShardScheduler",
+    "ShardWorker",
     "SweepService",
     "TERMINAL_STATES",
+    "TransportError",
+    "WorkerTransport",
     "check_transition",
     "job_key",
     "lower_job",
+    "worker_main",
 ]

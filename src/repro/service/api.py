@@ -6,25 +6,42 @@ long-running process:
 * submissions land in the durable :class:`~repro.service.store.JobStore`
   (validated first — a malformed spec is a ``400``, never a crash, and
   a duplicate dedups to the existing job by content-addressed id);
-* a single scheduler thread drains the queue FIFO through the
-  :class:`~repro.service.scheduler.ShardScheduler`;
+* a dispatcher thread drains the queue FIFO, running up to
+  ``max_jobs`` jobs concurrently (default 1 — the PR 8 behaviour),
+  each on its own scheduler: the local
+  :class:`~repro.service.scheduler.ShardScheduler` (a process pool in
+  this host), or with ``remote=True`` the
+  :class:`~repro.service.transport.RemoteShardScheduler`, which
+  publishes shard leases for ``repro worker start --connect`` workers
+  on any host to claim over HTTP;
 * ``GET /jobs/<id>`` serves the state machine plus live per-shard
   progress and the ``service.*`` slice of the telemetry metrics
   snapshot; ``GET /jobs/<id>/result`` serves the finished report's
-  exact bytes;
-* SIGTERM (wired in the CLI) triggers a graceful drain: the running
-  job's shards stop (their finished seeds are already checkpointed)
-  and the job goes back to ``queued``; the next start resumes it.
+  exact bytes (``410`` once ``service gc`` evicted them);
+* SIGTERM (wired in the CLI) triggers a graceful drain: running jobs'
+  shards stop (their finished seeds are already checkpointed) and the
+  jobs go back to ``queued``; the next start resumes them.
 
 HTTP endpoints::
 
-    POST /jobs               submit {"scenario": name | "spec": {...},
-                             "seeds", "base_seed", "kernel", "setup_kernel"}
-                             → 201 created / 200 deduped / 400 invalid
-    GET  /jobs               list all jobs (submission order)
-    GET  /jobs/<id>          status + progress + metrics
-    GET  /jobs/<id>/result   finished report (409 until terminal)
-    GET  /healthz            liveness probe
+    POST /jobs                   submit {"scenario": name | "spec": {...},
+                                 "seeds", "base_seed", "kernel", "setup_kernel"}
+                                 → 201 created / 200 deduped / 400 invalid
+    GET  /jobs                   list all jobs (submission order)
+    GET  /jobs/<id>              status + progress + metrics
+    GET  /jobs/<id>/result       finished report (409 until terminal,
+                                 410 after gc eviction)
+    GET  /healthz                liveness probe
+    POST /shards/claim           {"worker": id} → a shard lease, or
+                                 {"shard": null} (remote mode only: 409
+                                 otherwise)
+    POST /shards/<id>/seeds      {"job", "worker", "seed", "result"} —
+                                 the durability write + lease heartbeat
+                                 (idempotent: dedup by (job, shard, seed))
+    POST /shards/<id>/fail       {"job", "worker", "error"} — charge the
+                                 shard an attempt (retry/bisect/quarantine)
+    POST /shards/<id>/release    hand a lease back blame-free (drain)
+    POST /shards/<id>/done       close out a fully-uploaded lease
 
 The server is :class:`~http.server.ThreadingHTTPServer` — stdlib only,
 no new dependencies, good enough for the lab-scale concurrency the
@@ -40,10 +57,11 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from ..errors import ConfigurationError, ReproError, invalid_field
-from ..experiments import RetryPolicy, ServiceHalt
+from ..experiments import RetryPolicy, ServiceHalt, SweepCheckpoint
 from ..scenarios import ScenarioSpec, get_scenario
 from ..telemetry import default_registry
 from .scheduler import JobInterrupted, ShardScheduler, lower_job
+from .transport import RemoteShardScheduler, ShardBoard
 from .state import (
     DONE,
     FAILED,
@@ -79,18 +97,31 @@ class SweepService:
         retry: Optional[RetryPolicy] = None,
         schedule_store: Optional[Union[str, Path]] = None,
         poll_interval: float = 0.05,
+        remote: bool = False,
+        max_jobs: int = 1,
     ) -> None:
+        if max_jobs < 1:
+            raise invalid_field(
+                "SweepService", "max_jobs", max_jobs,
+                "the dispatcher needs at least one job slot",
+            )
         self._data_dir = Path(data_dir)
         self._data_dir.mkdir(parents=True, exist_ok=True)
         self._store = JobStore(self._data_dir / "jobs.sqlite")
-        self._scheduler = ShardScheduler(
-            self._data_dir,
-            shard_workers=shard_workers,
-            shards_per_job=shards_per_job,
-            shard_timeout=shard_timeout,
-            retry=retry,
-            schedule_store=schedule_store,
-            poll_interval=poll_interval,
+        self._shard_workers = shard_workers
+        self._shards_per_job = shards_per_job
+        self._shard_timeout = shard_timeout
+        self._retry = retry
+        self._schedule_store = schedule_store
+        self._poll_interval = poll_interval
+        self._remote = remote
+        self._max_jobs = max_jobs
+        # Remote mode: one lease board shared by every job scheduler,
+        # appending into the same checkpoint store the local path uses.
+        self._board: Optional[ShardBoard] = (
+            ShardBoard(SweepCheckpoint(self._data_dir / "checkpoints"))
+            if remote
+            else None
         )
         self._host = host
         self._port = port
@@ -99,6 +130,8 @@ class SweepService:
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
         self._drain_thread: Optional[threading.Thread] = None
+        self._active_lock = threading.Lock()
+        self._active_schedulers: list = []
         self.halted = False  # set by the chaos harness's ServiceHalt
 
     # ------------------------------------------------------------------
@@ -147,8 +180,8 @@ class SweepService:
 
     def drain(self, timeout: float = 30.0) -> None:
         """Graceful shutdown (the SIGTERM path): stop accepting HTTP,
-        stop the running job's shards (checkpointed seeds survive),
-        re-queue it, and return once both threads have stopped."""
+        stop every running job's shards (checkpointed seeds survive),
+        re-queue them, and return once the threads have stopped."""
         self._stop.set()
         if self._httpd is not None:
             self._httpd.shutdown()
@@ -156,7 +189,32 @@ class SweepService:
             self._httpd = None
         if self._drain_thread is not None:
             self._drain_thread.join(timeout=timeout)
-        self._scheduler.close(kill=True)
+        with self._active_lock:
+            leftovers = list(self._active_schedulers)
+        for scheduler in leftovers:
+            scheduler.close(kill=True)
+
+    def _make_scheduler(self):
+        """One scheduler per running job: a fresh local pool, or the
+        remote lease front over the shared board."""
+        if self._remote:
+            return RemoteShardScheduler(
+                self._data_dir,
+                self._board,
+                shards_per_job=self._shards_per_job,
+                shard_timeout=self._shard_timeout,
+                retry=self._retry,
+                poll_interval=self._poll_interval,
+            )
+        return ShardScheduler(
+            self._data_dir,
+            shard_workers=self._shard_workers,
+            shards_per_job=self._shards_per_job,
+            shard_timeout=self._shard_timeout,
+            retry=self._retry,
+            schedule_store=self._schedule_store,
+            poll_interval=self._poll_interval,
+        )
 
     # ------------------------------------------------------------------
     # Submission (shared by HTTP and any in-process caller)
@@ -232,6 +290,66 @@ class SweepService:
         return record, created
 
     # ------------------------------------------------------------------
+    # The remote-worker lease API (HTTP handler threads land here)
+    # ------------------------------------------------------------------
+    def claim_shard(self, payload: object) -> Tuple[int, Dict[str, object]]:
+        """``POST /shards/claim``: lease the next ready shard."""
+        if self._board is None:
+            return 409, {
+                "error": "service is not in remote mode (start with --remote)"
+            }
+        if not isinstance(payload, dict):
+            return 400, {"error": "the claim body must be a JSON object"}
+        worker = payload.get("worker")
+        if not isinstance(worker, str) or not worker:
+            return 400, {"error": "a claim needs a non-empty 'worker' id"}
+        claim = self._board.claim(worker)
+        if claim is None:
+            return 200, {"shard": None}
+        return 200, claim
+
+    def shard_post(
+        self, shard_id: str, action: str, payload: object
+    ) -> Tuple[int, Dict[str, object]]:
+        """``POST /shards/<id>/{seeds,fail,release,done}``."""
+        if self._board is None:
+            return 409, {
+                "error": "service is not in remote mode (start with --remote)"
+            }
+        if not isinstance(payload, dict):
+            return 400, {"error": "the body must be a JSON object"}
+        job = payload.get("job")
+        worker = payload.get("worker")
+        if not isinstance(job, str) or not isinstance(worker, str):
+            return 400, {"error": "'job' and 'worker' must be strings"}
+        if action == "seeds":
+            seed = payload.get("seed")
+            result = payload.get("result")
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                return 400, {"error": "'seed' must be an integer"}
+            if not isinstance(result, dict):
+                return 400, {"error": "'result' must be a result document"}
+            try:
+                reply = self._board.record_seed(job, shard_id, worker, seed, result)
+            except (KeyError, TypeError, ValueError) as exc:
+                # A malformed result document must not poison the board.
+                return 400, {
+                    "error": f"malformed result document: "
+                    f"{type(exc).__name__}: {exc}"
+                }
+            return 200, reply
+        if action == "fail":
+            error = payload.get("error")
+            if not isinstance(error, str):
+                return 400, {"error": "'error' must be a string"}
+            return 200, self._board.fail_shard(job, shard_id, worker, error)
+        if action == "release":
+            return 200, self._board.release_shard(job, shard_id, worker)
+        if action == "done":
+            return 200, self._board.complete_shard(job, shard_id, worker)
+        return 404, {"error": f"no such shard action: {action!r}"}
+
+    # ------------------------------------------------------------------
     # Status views
     # ------------------------------------------------------------------
     def describe(self, job_id: str) -> Optional[Dict[str, object]]:
@@ -262,17 +380,38 @@ class SweepService:
     # The scheduler loop
     # ------------------------------------------------------------------
     def _drain_loop(self) -> None:
+        """The dispatcher: claim queued jobs and run up to
+        ``max_jobs`` of them concurrently, each on its own thread and
+        scheduler.  With the default ``max_jobs=1`` this degenerates to
+        the old one-job FIFO (claims are atomic either way)."""
+        threads: list = []
         while not self._stop.is_set():
+            threads = [t for t in threads if t.is_alive()]
+            if len(threads) >= self._max_jobs:
+                self._stop.wait(0.05)
+                continue
             job = self._store.claim_next()
             if job is None:
                 self._stop.wait(0.05)
                 continue
-            self._run_one(job)
+            thread = threading.Thread(
+                target=self._run_one,
+                args=(job,),
+                name=f"sweep-job-{job.job_id[:8]}",
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=30.0)
 
     def _run_one(self, job: JobRecord) -> None:
+        scheduler = self._make_scheduler()
+        with self._active_lock:
+            self._active_schedulers.append(scheduler)
         try:
             spec = job.spec()
-            outcome = self._scheduler.run_job(
+            outcome = scheduler.run_job(
                 spec,
                 repeats=job.repeats,
                 base_seed=job.base_seed,
@@ -302,6 +441,10 @@ class SweepService:
                 job.job_id, state, result_json=outcome.to_json()
             )
         finally:
+            with self._active_lock:
+                if scheduler in self._active_schedulers:
+                    self._active_schedulers.remove(scheduler)
+            scheduler.close(kill=True)
             self._progress.pop(job.job_id, None)
 
 
@@ -336,9 +479,6 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
-        if self.path.rstrip("/") != "/jobs":
-            self._reply(404, {"error": f"no such endpoint: {self.path}"})
-            return
         try:
             length = int(self.headers.get("Content-Length", 0))
             raw = self.rfile.read(length)
@@ -347,14 +487,18 @@ class _Handler(BaseHTTPRequestHandler):
             except ValueError:
                 self._reply(400, {"error": "request body is not valid JSON"})
                 return
-            record, created = self._service.submit(payload)
+            self._route_post(payload)
         except ConfigurationError as exc:
             self._reply(400, {"error": str(exc)})
         except Exception as exc:  # never a crash, never a traceback page
             self._reply(
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
-        else:
+
+    def _route_post(self, payload: object) -> None:
+        parts = [p for p in self.path.split("/") if p]
+        if parts == ["jobs"]:
+            record, created = self._service.submit(payload)
             self._reply(
                 201 if created else 200,
                 {
@@ -363,6 +507,18 @@ class _Handler(BaseHTTPRequestHandler):
                     "created": created,
                 },
             )
+            return
+        if parts == ["shards", "claim"]:
+            status, document = self._service.claim_shard(payload)
+            self._reply(status, document)
+            return
+        if len(parts) == 3 and parts[0] == "shards":
+            status, document = self._service.shard_post(
+                parts[1], parts[2], payload
+            )
+            self._reply(status, document)
+            return
+        self._reply(404, {"error": f"no such endpoint: {self.path}"})
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         try:
@@ -393,6 +549,19 @@ class _Handler(BaseHTTPRequestHandler):
             if record is None:
                 self._reply(404, {"error": f"unknown job {parts[1]!r}"})
             elif record.state in (DONE, QUARANTINED):
+                if record.result_json is None:
+                    # Terminal but evicted by `repro service gc`: the
+                    # record survives for dedup, the blob is gone.
+                    self._reply(
+                        410,
+                        {
+                            "state": record.state,
+                            "error": "result evicted by gc "
+                            "(resubmit after clearing the job record "
+                            "to recompute)",
+                        },
+                    )
+                    return
                 self._reply_raw(200, record.result_json.encode() + b"\n")
             elif record.state in TERMINAL_STATES:  # failed
                 self._reply(409, {"state": record.state, "error": record.error})

@@ -6,6 +6,15 @@ same reason the server is.  Every call returns the decoded JSON
 document; HTTP error statuses surface as :class:`ServiceError` with
 the server's ``error`` field as the message, so callers never parse
 HTML tracebacks (the server never sends any).
+
+Hardening: every urllib call carries an explicit timeout, and
+*connection-level* failures (``ConnectionError``/``URLError``/socket
+timeouts — anywhere the request may never have arrived) are retried a
+bounded number of times with exponential backoff before surfacing as
+:class:`ServiceError` with status 0.  HTTP error statuses are never
+retried: the server answered, and re-asking would not change the
+answer.  Retrying ``POST /jobs`` is safe because submission is
+idempotent by construction (content-addressed job ids dedup).
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..errors import ReproError
 
@@ -27,76 +36,122 @@ class ServiceError(ReproError):
         self.status = status
 
 
-def _request(
-    url: str, payload: Optional[Dict] = None, timeout: float = 30.0
-) -> Dict:
+def _request_raw(
+    url: str,
+    payload: Optional[Dict] = None,
+    timeout: float = 30.0,
+    retries: int = 3,
+    backoff: float = 0.2,
+    sleep: Callable[[float], None] = time.sleep,
+) -> bytes:
+    """One HTTP exchange returning the raw response body.
+
+    ``retries`` bounds the total attempts; attempt *n* failing at the
+    connection level sleeps ``backoff * 2**(n-1)`` before the next.
+    """
     data = None
     headers = {"Accept": "application/json"}
     if payload is not None:
         data = json.dumps(payload).encode()
         headers["Content-Type"] = "application/json"
-    request = urllib.request.Request(url, data=data, headers=headers)
-    try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            return json.loads(response.read().decode())
-    except urllib.error.HTTPError as exc:
+    attempt = 0
+    while True:
+        attempt += 1
+        request = urllib.request.Request(url, data=data, headers=headers)
         try:
-            document = json.loads(exc.read().decode())
-            message = document.get("error") or document.get("state") or str(exc)
-        except ValueError:
-            message = str(exc)
-        raise ServiceError(exc.code, message) from None
-    except urllib.error.URLError as exc:
-        raise ServiceError(0, f"cannot reach {url}: {exc.reason}") from None
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            # The server answered: an HTTP status is a result, not an
+            # outage — never retried.
+            try:
+                document = json.loads(exc.read().decode())
+                message = (
+                    document.get("error") or document.get("state") or str(exc)
+                )
+            except ValueError:
+                message = str(exc)
+            raise ServiceError(exc.code, message) from None
+        except OSError as exc:
+            # URLError (refused, unreachable, DNS), ConnectionError,
+            # socket timeouts: the retryable family.
+            if attempt >= max(retries, 1):
+                reason = getattr(exc, "reason", exc)
+                raise ServiceError(0, f"cannot reach {url}: {reason}") from None
+            sleep(backoff * (2 ** (attempt - 1)))
+
+
+def _request(
+    url: str,
+    payload: Optional[Dict] = None,
+    timeout: float = 30.0,
+    retries: int = 3,
+    backoff: float = 0.2,
+) -> Dict:
+    return json.loads(
+        _request_raw(
+            url, payload, timeout=timeout, retries=retries, backoff=backoff
+        ).decode()
+    )
 
 
 class ServiceClient:
-    """Talks to one running :class:`~repro.service.SweepService`."""
+    """Talks to one running :class:`~repro.service.SweepService`.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    ``retries``/``backoff`` bound the per-call retry schedule on
+    connection-level failures (see the module docstring); ``retries=1``
+    restores fail-fast behaviour.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.2,
+    ) -> None:
         self._base = base_url.rstrip("/")
         self._timeout = timeout
+        self._retries = retries
+        self._backoff = backoff
+
+    def _get(self, path: str, payload: Optional[Dict] = None) -> Dict:
+        return _request(
+            f"{self._base}{path}",
+            payload,
+            timeout=self._timeout,
+            retries=self._retries,
+            backoff=self._backoff,
+        )
 
     def health(self) -> Dict:
         """Liveness probe (``GET /healthz``)."""
-        return _request(f"{self._base}/healthz", timeout=self._timeout)
+        return self._get("/healthz")
 
     def submit(self, payload: Dict) -> Dict:
-        """Submit a job; returns ``{"job", "state", "created"}``."""
-        return _request(f"{self._base}/jobs", payload, timeout=self._timeout)
+        """Submit a job; returns ``{"job", "state", "created"}``.
+        Safe under retry: duplicate submissions dedup server-side."""
+        return self._get("/jobs", payload)
 
     def status(self, job_id: str) -> Dict:
         """One job's status document."""
-        return _request(f"{self._base}/jobs/{job_id}", timeout=self._timeout)
+        return self._get(f"/jobs/{job_id}")
 
     def result(self, job_id: str) -> Dict:
         """One finished job's report (raises :class:`ServiceError` with
-        status 409 while the job is still queued/running)."""
-        return _request(
-            f"{self._base}/jobs/{job_id}/result", timeout=self._timeout
-        )
+        status 409 while the job is still queued/running, 410 if the
+        result blob was evicted by ``service gc``)."""
+        return self._get(f"/jobs/{job_id}/result")
 
     def result_text(self, job_id: str) -> str:
         """The finished report's exact bytes, as text — for byte-level
         comparison against a direct run's ``to_json()``."""
-        request = urllib.request.Request(
+        return _request_raw(
             f"{self._base}/jobs/{job_id}/result",
-            headers={"Accept": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self._timeout) as resp:
-                return resp.read().decode()
-        except urllib.error.HTTPError as exc:
-            try:
-                document = json.loads(exc.read().decode())
-                message = document.get("error") or document.get("state") or str(exc)
-            except ValueError:
-                message = str(exc)
-            raise ServiceError(exc.code, message) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                0, f"cannot reach {self._base}: {exc.reason}"
-            ) from None
+            timeout=self._timeout,
+            retries=self._retries,
+            backoff=self._backoff,
+        ).decode()
 
     def wait(
         self,

@@ -131,6 +131,55 @@ def _run_shard(
     return ran
 
 
+def merge_outcome(
+    spec: ScenarioSpec,
+    topology: Topology,
+    config: ExperimentConfig,
+    checkpoint: SweepCheckpoint,
+    key: str,
+    seeds: List[int],
+    failures: List[FailedRun],
+    max_attempts: int,
+) -> ScenarioOutcome:
+    """Seed-ordered reassembly of the checkpointed results into the
+    same :class:`~repro.scenarios.ScenarioOutcome` a direct
+    ``ScenarioRunner.run`` builds — the report bytes cannot tell the
+    difference, which is the whole point.  Shared by the local
+    :class:`ShardScheduler` and the remote
+    :class:`~repro.service.transport.RemoteShardScheduler`: however the
+    seeds travelled, the merge is the same."""
+    on_disk = checkpoint.load(key)
+    quarantined = {f.seed for f in failures}
+    survivors = [s for s in seeds if s not in quarantined]
+    lost = [s for s in survivors if s not in on_disk]
+    if lost:
+        raise sweep_failed(
+            "ShardScheduler",
+            seeds=lost,
+            attempts=max_attempts,
+            detail="seeds neither checkpointed nor quarantined",
+        )
+    results = tuple(on_disk[s] for s in survivors)
+    if not results:
+        raise sweep_failed(
+            "ShardScheduler",
+            seeds=[f.seed for f in failures] or seeds,
+            attempts=max((f.attempts for f in failures), default=0),
+            detail=failures[0].error if failures else "no seeds executed",
+        )
+    return ScenarioOutcome(
+        spec=spec,
+        topology_name=topology.name,
+        config=config,
+        results=results,
+        stats=capture_stats(results),
+        per_source=per_source_capture_stats(results),
+        first_capture=first_capture_stats(results),
+        failures=tuple(failures),
+        guard=None,
+    )
+
+
 class _Shard:
     """One shard queued for (re-)execution."""
 
@@ -518,37 +567,7 @@ class ShardScheduler:
         seeds: List[int],
         failures: List[FailedRun],
     ) -> ScenarioOutcome:
-        """Seed-ordered reassembly of the checkpointed results into the
-        same :class:`~repro.scenarios.ScenarioOutcome` a direct
-        ``ScenarioRunner.run`` builds — the report bytes cannot tell
-        the difference, which is the whole point."""
-        on_disk = self._checkpoint.load(key)
-        quarantined = {f.seed for f in failures}
-        survivors = [s for s in seeds if s not in quarantined]
-        lost = [s for s in survivors if s not in on_disk]
-        if lost:
-            raise sweep_failed(
-                "ShardScheduler",
-                seeds=lost,
-                attempts=self._retry.max_attempts,
-                detail="seeds neither checkpointed nor quarantined",
-            )
-        results = tuple(on_disk[s] for s in survivors)
-        if not results:
-            raise sweep_failed(
-                "ShardScheduler",
-                seeds=[f.seed for f in failures] or seeds,
-                attempts=max((f.attempts for f in failures), default=0),
-                detail=failures[0].error if failures else "no seeds executed",
-            )
-        return ScenarioOutcome(
-            spec=spec,
-            topology_name=topology.name,
-            config=config,
-            results=results,
-            stats=capture_stats(results),
-            per_source=per_source_capture_stats(results),
-            first_capture=first_capture_stats(results),
-            failures=tuple(failures),
-            guard=None,
+        return merge_outcome(
+            spec, topology, config, self._checkpoint, key, seeds,
+            failures, self._retry.max_attempts,
         )

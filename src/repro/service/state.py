@@ -136,4 +136,8 @@ class JobRecord:
             info["setup_kernel"] = self.setup_kernel
         if self.error is not None:
             info["error"] = self.error
+        if self.state in (DONE, QUARANTINED) and self.result_json is None:
+            # Terminal without a blob: `service gc` evicted the result
+            # (the record itself survives so resubmissions still dedup).
+            info["evicted"] = True
         return info

@@ -27,6 +27,8 @@ from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from .state import (
+    DONE,
+    QUARANTINED,
     QUEUED,
     RUNNING,
     JobRecord,
@@ -188,6 +190,36 @@ class JobStore:
                 (QUEUED, RUNNING),
             )
         return cursor.rowcount
+
+    def gc(self, keep: int) -> List[JobRecord]:
+        """Evict result blobs beyond the ``keep`` most recent terminal
+        jobs (``repro service gc --keep N``).
+
+        Ordering is by ``submit_order`` — the store's monotonic
+        counter, never a wall clock — and only the ``result`` column is
+        cleared: the :class:`JobRecord` row survives, so resubmitting
+        an evicted job still dedups to it (the documented trade-off:
+        recomputing an evicted report requires clearing the row).
+        Returns the evicted records (as they were *before* eviction, so
+        callers can prune derived artefacts like checkpoint files).
+        """
+        if keep < 0:
+            raise ValueError(f"gc keep must be >= 0, got {keep}")
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            rows = conn.execute(
+                f"SELECT * FROM {_TABLE} "
+                "WHERE state IN (?, ?) AND result IS NOT NULL "
+                "ORDER BY submit_order DESC",
+                (DONE, QUARANTINED),
+            ).fetchall()
+            victims = rows[keep:]
+            for row in victims:
+                conn.execute(
+                    f"UPDATE {_TABLE} SET result = NULL WHERE job_id = ?",
+                    (row[0],),
+                )
+        return [self._record(row) for row in victims]
 
     # ------------------------------------------------------------------
     @staticmethod
