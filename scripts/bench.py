@@ -98,6 +98,7 @@ from repro.experiments import (
     workers_argument,
 )
 from repro.scenarios import ScenarioRunner
+from repro.storage import atomic_write_text
 from repro.topology import GridTopology, paper_grid
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -536,8 +537,9 @@ def profile_suite(workers: int, quick: bool, artifacts: Path) -> dict:
         sections.append(f"\n---- workload: {name} (top 20 by cumulative time) ----")
         sections.append(stream.getvalue().rstrip())
     existing = artifacts.read_text() if artifacts.exists() else ""
-    artifacts.write_text(
-        _without_profile_sections(existing) + "\n".join(sections) + "\n"
+    atomic_write_text(
+        artifacts,
+        _without_profile_sections(existing) + "\n".join(sections) + "\n",
     )
     return suite
 
@@ -759,7 +761,7 @@ def main(argv=None) -> int:
         if args.baseline is not None
         else find_previous_bench(args.quick, exclude=out)
     )
-    out.write_text(json.dumps(suite, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(out, json.dumps(suite, indent=2, sort_keys=True) + "\n")
 
     print(json.dumps(suite, indent=2, sort_keys=True))
     print(f"\nwrote {out}", file=sys.stderr)

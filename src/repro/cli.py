@@ -26,7 +26,7 @@ from typing import List, Optional
 
 from .core import check_strong_das, check_weak_das, safety_period
 from .das import centralized_das_schedule
-from .errors import ConfigurationError, SweepExecutionError
+from .errors import ConfigurationError, StorageError, SweepExecutionError
 from .experiments import (
     GUARD_MODES,
     PAPER,
@@ -48,6 +48,7 @@ from .scenarios import (
     scenario_names,
 )
 from .slp import SlpParameters, build_slp_schedule
+from .storage import atomic_write_text
 from .telemetry import ProgressReporter, TelemetrySession
 from .topology import paper_grid
 from .verification import verify_schedule
@@ -60,6 +61,11 @@ EXIT_SWEEP_FAILED = 3
 #: Exit code when a sweep completed but supervised execution had to
 #: quarantine seeds — the report is usable but incomplete.
 EXIT_QUARANTINED = 4
+#: Exit code when the *disk* failed us — a durable write raised
+#: :class:`~repro.errors.StorageError` (ENOSPC, EROFS, …).  Distinct
+#: from the sweep-level codes so scripts can tell "the numbers are
+#: suspect" apart from "the machine needs an operator".
+EXIT_STORAGE = 5
 
 
 def _cmd_table1(_: argparse.Namespace) -> int:
@@ -281,7 +287,7 @@ def _cmd_scenario_export(args: argparse.Namespace) -> int:
     spec = get_scenario(args.name)
     payload = spec.to_json() + "\n"
     if args.out is not None:
-        args.out.write_text(payload)
+        atomic_write_text(args.out, payload)
         _status(args, f"wrote {args.out}")
     else:
         sys.stdout.write(payload)
@@ -339,7 +345,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     else:
         payload = outcome.to_json() + "\n"
     if args.out is not None:
-        args.out.write_text(payload)
+        atomic_write_text(args.out, payload)
         _status(args, f"wrote {args.out}")
     else:
         sys.stdout.write(payload)
@@ -393,6 +399,7 @@ def _cmd_service_start(args: argparse.Namespace) -> int:
         schedule_store=args.schedule_store,
         remote=args.remote,
         max_jobs=args.max_jobs,
+        token=args.token,
     )
     stop_requested = threading.Event()
 
@@ -472,6 +479,8 @@ def _cmd_worker_start(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retry=retry,
         idle_exit=args.idle_exit,
+        token=args.token,
+        upload_batch=args.upload_batch,
     )
 
     def _on_signal(signum: int, frame: object) -> None:
@@ -488,7 +497,11 @@ def _cmd_worker_start(args: argparse.Namespace) -> int:
 def _service_client(args: argparse.Namespace):
     from .service import ServiceClient
 
-    return ServiceClient(args.url, timeout=args.timeout)
+    return ServiceClient(
+        args.url,
+        timeout=args.timeout,
+        token=getattr(args, "token", None),
+    )
 
 
 def _finished_exit(state: str) -> int:
@@ -563,12 +576,60 @@ def _cmd_service_result(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.out is not None:
-        args.out.write_text(text)
+        atomic_write_text(args.out, text)
         _status(args, f"wrote {args.out}")
     else:
         sys.stdout.write(text)
     state = client.status(args.job)["state"]
     return _finished_exit(state)
+
+
+def _cmd_service_fsck(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import fsck_data_dir
+
+    data_dir = Path(args.data_dir)
+    if not data_dir.is_dir():
+        print(f"error: no data dir at {data_dir}", file=sys.stderr)
+        return 2
+    report = fsck_data_dir(data_dir, repair=args.repair)
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    if report["clean"] or report["unrepaired"] == 0:
+        return 0
+    return 1
+
+
+def _cmd_service_workers(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        summary = client.workers()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workers = summary.get("workers") or []
+    if not summary.get("remote", False):
+        print("service is not in remote mode (no worker fleet)")
+        return 0
+    if not workers:
+        print("no workers have claimed shards yet")
+        return 0
+    header = (
+        f"{'worker':<28} {'shards':>6} {'claims':>6} "
+        f"{'seeds':>6} {'last upload':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for entry in workers:
+        since = entry.get("seconds_since_upload")
+        recency = "never" if since is None else f"{since:.1f}s ago"
+        print(
+            f"{entry['worker']:<28} {entry['shards_held']:>6} "
+            f"{entry['claims']:>6} {entry['seeds_landed']:>6} {recency:>12}"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -870,8 +931,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="jobs to run concurrently (default 1: FIFO)",
     )
+    svc_start.add_argument(
+        "--token",
+        default=None,
+        help="require this bearer token on every mutating endpoint "
+        "(submits and shard traffic answer 401 without it; reads stay "
+        "open)",
+    )
     svc_start.add_argument("--quiet", action="store_true")
     svc_start.set_defaults(func=_cmd_service_start)
+
+    svc_fsck = service_sub.add_parser(
+        "fsck",
+        help="audit a service --data-dir offline: cross-check job rows, "
+        "checkpoint files and result blobs; --repair prunes orphans and "
+        "demotes inconsistent jobs to queued",
+    )
+    svc_fsck.add_argument(
+        "--data-dir",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="the service's durable state directory (service must be stopped)",
+    )
+    svc_fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="fix what can be fixed conservatively (prune orphans and "
+        "crash debris, rewrite checkpoints keeping verified lines, "
+        "demote inconsistent jobs to queued); never patches results "
+        "in place",
+    )
+    svc_fsck.set_defaults(func=_cmd_service_fsck, quiet=False)
+
+    svc_workers = service_sub.add_parser(
+        "workers",
+        help="show the remote worker fleet (held shards, seeds landed, "
+        "upload recency) from the service's lease board",
+    )
+    svc_workers.add_argument("--url", default=DEFAULT_SERVICE_URL, help=url_help)
+    svc_workers.add_argument(
+        "--timeout", type=float, default=30.0, help=timeout_help
+    )
+    svc_workers.set_defaults(func=_cmd_service_workers, quiet=False)
 
     svc_gc = service_sub.add_parser(
         "gc",
@@ -921,6 +1023,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     svc_submit.add_argument(
         "--timeout", type=float, default=600.0, help=timeout_help
+    )
+    svc_submit.add_argument(
+        "--token",
+        default=None,
+        help="bearer token for a 'service start --token' instance",
     )
     svc_submit.add_argument("--quiet", action="store_true")
     svc_submit.set_defaults(func=_cmd_service_submit)
@@ -1000,6 +1107,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit once no work has been claimable for this long "
         "(default: poll forever)",
     )
+    wrk_start.add_argument(
+        "--token",
+        default=None,
+        help="bearer token for a 'service start --token' instance",
+    )
+    wrk_start.add_argument(
+        "--upload-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="coalesce up to N finished seeds into one upload (default "
+        "1: upload each seed as it finishes; the batch flushes at shard "
+        "end and on drain either way)",
+    )
     wrk_start.add_argument("--quiet", action="store_true")
     wrk_start.set_defaults(func=_cmd_worker_start)
 
@@ -1017,7 +1138,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     Exit codes: ``0`` success, ``EXIT_SWEEP_FAILED`` (3) when a sweep
     produced no results at all, ``EXIT_QUARANTINED`` (4) when it
-    completed but had to quarantine failing seeds.
+    completed but had to quarantine failing seeds, ``EXIT_STORAGE``
+    (5) when a durable write failed (disk full, read-only filesystem).
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1026,6 +1148,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_STORAGE
     except SweepExecutionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_SWEEP_FAILED

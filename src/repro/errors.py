@@ -80,6 +80,42 @@ class SweepExecutionError(ReproError):
         self.attempts = attempts
 
 
+class StorageError(ReproError):
+    """Raised when a durable write (or a storage audit) fails.
+
+    The crash-consistent IO layer (:mod:`repro.storage`) wraps every
+    ``OSError`` from its atomic-write/durable-append paths in this
+    type, so callers can distinguish "the disk failed us" (ENOSPC,
+    read-only filesystem, permission flip, torn artefact) from a seed
+    sweep failing on its own merits.  The CLI maps it to its own exit
+    code (distinct from sweep failure and quarantine) and the service
+    answers 503 while degraded.
+
+    ``os_errno`` and ``path`` are best-effort diagnostics (they may be
+    lost when the error crosses a process boundary via pickling; the
+    message always survives).
+    """
+
+    def __init__(self, message: str, os_errno: int = 0, path: str = "") -> None:
+        super().__init__(message)
+        self.os_errno = os_errno
+        self.path = path
+
+
+def storage_failure(op: str, path, exc: OSError) -> StorageError:
+    """Build a :class:`StorageError` in the library's uniform shape,
+    naming the operation, the artefact, and the underlying OS error::
+
+        raise storage_failure("atomic_write", path, exc) from exc
+    """
+    detail = exc.strerror or exc.__class__.__name__
+    return StorageError(
+        f"storage {op} failed for {path}: {detail}",
+        os_errno=exc.errno or 0,
+        path=str(path),
+    )
+
+
 def sweep_failed(
     owner: str, seeds, attempts: int, detail: str
 ) -> SweepExecutionError:

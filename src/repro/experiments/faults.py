@@ -67,12 +67,45 @@ see :mod:`repro.service.worker`):
     stranded worker's late traffic must dedup away.  Fires once per
     seed.
 
+Storage chaos (the durable-IO seam's fault points; every writer that
+flows through :mod:`repro.storage` is exercised by the same drill —
+fault targets are *path substrings*, e.g. ``"sweep-"`` for checkpoint
+files or ``"results/"`` for result blobs):
+
+``torn_writes``
+    The writing process lands ``enospc_after_bytes`` of the payload,
+    fsyncs the fragment so it is really on disk, and ``os._exit``\\ s —
+    exactly where ``SIGKILL`` mid-write would leave the file.  Fires
+    once per target; the torn-line welding in ``durable_append`` plus
+    the checkpoint loader's skip-corrupt-lines policy (or the atomic
+    tempfile rename, for whole-artefact writes) must recover.
+``short_writes``
+    The write silently lands only ``enospc_after_bytes`` bytes and
+    *reports success* — the lying-disk case.  Fires once per target.
+``enospc_writes``
+    The write lands ``enospc_after_bytes`` bytes and then raises
+    ``ENOSPC`` — disk full mid-write.  Fires once per target; a CLI
+    sweep must fail with a typed :class:`~repro.errors.StorageError`
+    (its own exit code), a service must re-queue the job and 503 new
+    submissions until a durable write succeeds again.
+``readonly_writes``
+    Every matching write raises ``EROFS`` before writing anything — a
+    read-only remount / permission flip.  *Persistent* (no marker):
+    the filesystem stays broken until the plan is deactivated.
+``corrupt_checkpoint_seeds``
+    The listed seed's checkpoint line is mangled in memory before the
+    (successful, durable) append — silent corruption at rest.  The
+    line digest makes the loader skip it; the scheduler's recovery
+    pass re-runs the seed; ``fsck`` reports and repairs the debris.
+    Fires once per seed.
+
 Once-only faults (crash, hang, transient, pickle, halt, drop, delay,
-partition) coordinate across processes and retries through marker
-files in ``marker_dir``: the first process to atomically create
-``<kind>-<seed>`` wins the right to fire the fault, every later
-attempt proceeds normally.  ``poison``, ``perturb`` and ``duplicate``
-need no markers — they fire unconditionally.
+partition, torn, short, enospc, corrupt) coordinate across processes
+and retries through marker files in ``marker_dir``: the first process
+to atomically create ``<kind>-<key>`` wins the right to fire the
+fault, every later attempt proceeds normally.  ``poison``, ``perturb``,
+``duplicate`` and ``readonly`` need no markers — they fire
+unconditionally.
 
 Nothing in this module runs unless a plan is active: the hot paths
 call :func:`active_fault_plan`, which is a cached environment lookup
@@ -81,6 +114,7 @@ returning ``None`` in production.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import time
@@ -133,9 +167,15 @@ class FaultPlan:
     delay_requests: Tuple[int, ...] = ()
     duplicate_uploads: Tuple[int, ...] = ()
     partition_worker: Tuple[int, ...] = ()
+    torn_writes: Tuple[str, ...] = ()
+    short_writes: Tuple[str, ...] = ()
+    enospc_writes: Tuple[str, ...] = ()
+    readonly_writes: Tuple[str, ...] = ()
+    corrupt_checkpoint_seeds: Tuple[int, ...] = ()
     hang_seconds: float = 30.0
     delay_seconds: float = 0.05
     partition_seconds: float = 2.0
+    enospc_after_bytes: int = 16
     marker_dir: str = ""
 
     def __post_init__(self) -> None:
@@ -148,6 +188,10 @@ class FaultPlan:
             "drop_requests",
             "delay_requests",
             "partition_worker",
+            "torn_writes",
+            "short_writes",
+            "enospc_writes",
+            "corrupt_checkpoint_seeds",
         ):
             if getattr(self, name) and not self.marker_dir:
                 raise ValueError(
@@ -256,6 +300,55 @@ class FaultPlan:
         (unconditional — replays must always be harmless)."""
         return seed in self.duplicate_uploads
 
+    # ------------------------------------------------------------------
+    # Storage chaos (the durable-IO seam's fault points)
+    # ------------------------------------------------------------------
+    def storage_write_fault(self, path, handle, data: bytes) -> bytes:
+        """The injection point inside :mod:`repro.storage.io`.
+
+        Called with the open file ``handle`` immediately before the
+        payload ``data`` is written to ``path``.  Returns the bytes to
+        actually write (``short`` truncates them); ``readonly`` and
+        ``enospc`` raise the corresponding ``OSError`` for the seam to
+        wrap; ``torn`` does not return at all — it lands a durable
+        fragment and kills the process where SIGKILL would.
+        """
+        target = str(path)
+        for token in self.readonly_writes:
+            if token in target:
+                raise OSError(
+                    errno.EROFS, "injected read-only filesystem", target
+                )
+        partial = data[: max(0, min(self.enospc_after_bytes, len(data) - 1))]
+        for token in self.enospc_writes:
+            if token in target and self._once("enospc", _fs_safe(token)):
+                handle.write(partial)
+                handle.flush()
+                raise OSError(errno.ENOSPC, "injected disk full", target)
+        for token in self.torn_writes:
+            if token in target and self._once("torn", _fs_safe(token)):
+                handle.write(partial)
+                handle.flush()
+                try:
+                    os.fsync(handle.fileno())
+                except OSError:
+                    pass
+                os._exit(23)
+        for token in self.short_writes:
+            if token in target and self._once("short", _fs_safe(token)):
+                return partial
+        return data
+
+    def corrupt_checkpoint_line(self, seed: int, line: str) -> str:
+        """Mangle ``seed``'s checkpoint line before its (durable)
+        append — silent corruption at rest (once per listed seed)."""
+        if seed not in self.corrupt_checkpoint_seeds:
+            return line
+        if not self._once("corrupt", seed):
+            return line
+        middle = len(line) // 2
+        return line[:middle] + "#CORRUPT#" + line[middle + 1 :]
+
     def on_result(self, config: object, seed: int, result):
         """Corrupt a completed non-legacy-kernel result (guard drills).
 
@@ -268,6 +361,11 @@ class FaultPlan:
         if getattr(config, "kernel", None) == "legacy":
             return result
         return replace(result, messages_sent=result.messages_sent + 1)
+
+
+def _fs_safe(token: str) -> str:
+    """A path-substring fault target as a marker-file-name component."""
+    return token.replace(os.sep, "_").replace("/", "_")
 
 
 #: Cache of the last parsed plan, keyed by the raw environment string

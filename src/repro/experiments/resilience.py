@@ -63,6 +63,7 @@ from typing import (
 
 from ..app import OperationalResult
 from ..errors import invalid_field
+from ..storage import atomic_write_text, durable_append
 from ..telemetry import absorb_worker_payload, active_tracer, default_registry
 from .faults import active_fault_plan
 from .schedule_cache import topology_fingerprint
@@ -413,6 +414,33 @@ def result_to_dict(result: OperationalResult) -> Dict[str, object]:
     return asdict(result)
 
 
+def encode_checkpoint_line(seed: int, result: OperationalResult) -> str:
+    """One seed's checkpoint record: the JSON entry plus a ``check``
+    digest over its canonical serialisation, so corruption *at rest*
+    (bit rot, a lying disk) is detectable — not just torn writes."""
+    entry = {"result": result_to_dict(result), "seed": seed}
+    body = json.dumps(entry, sort_keys=True)
+    check = sha256(body.encode()).hexdigest()[:16]
+    entry["check"] = check
+    return json.dumps(entry, sort_keys=True)
+
+
+def decode_checkpoint_line(line: str) -> Tuple[int, OperationalResult]:
+    """Invert :func:`encode_checkpoint_line`, verifying the digest.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` for malformed or
+    digest-mismatched lines (pre-digest lines, which carry no ``check``
+    field, are accepted — old checkpoints stay resumable).
+    """
+    entry = json.loads(line)
+    check = entry.pop("check", None)
+    if check is not None:
+        body = json.dumps(entry, sort_keys=True)
+        if sha256(body.encode()).hexdigest()[:16] != check:
+            raise ValueError("checkpoint line digest mismatch")
+    return int(entry["seed"]), result_from_dict(entry["result"])
+
+
 def result_from_dict(data: Dict[str, object]) -> OperationalResult:
     """Invert :func:`result_to_dict` exactly (tuples restored, so a
     round-tripped result compares equal to the original)."""
@@ -445,12 +473,13 @@ class SweepCheckpoint:
     kernel selection, schedule jitter) gets a fresh one.  Nothing
     machine- or git-dependent enters the key.
 
-    Each line is ``{"seed": s, "result": {...}}``; appends are
-    line-buffered and a torn trailing line (the interruption case) is
-    skipped on load, so an interrupted append costs at most that one
-    seed.  Float fields survive the JSON round trip exactly (shortest
-    round-trip repr), which is what makes a resumed report
-    bit-identical to an uninterrupted one.
+    Each line is ``{"check": digest, "result": {...}, "seed": s}``
+    (:func:`encode_checkpoint_line`); appends go through the durable-IO
+    seam (fsynced, torn-tail welding) and a torn or digest-mismatched
+    line is skipped on load, so a crashed append — or silent corruption
+    at rest — costs at most that one seed.  Float fields survive the
+    JSON round trip exactly (shortest round-trip repr), which is what
+    makes a resumed report bit-identical to an uninterrupted one.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -494,33 +523,27 @@ class SweepCheckpoint:
             if not line:
                 continue
             try:
-                entry = json.loads(line)
-                results[int(entry["seed"])] = result_from_dict(entry["result"])
+                found, result = decode_checkpoint_line(line)
             except (ValueError, KeyError, TypeError):
                 continue
+            results[found] = result
         return results
 
     def append(self, key: str, seed: int, result: OperationalResult) -> None:
-        """Record one completed seed (flushed immediately, so results
-        survive whatever interrupts the sweep next).
+        """Record one completed seed through the durable-IO seam
+        (:func:`~repro.storage.durable_append`: single-write append with
+        torn-line welding, flushed and fsynced, so results survive
+        whatever interrupts the sweep next — including the power).
 
-        A crash can tear the previous append mid-line, leaving the file
-        without a trailing newline; writing straight after it would
-        weld this (good) record onto that (doomed) fragment and lose
-        both.  Sealing the torn line first confines the damage to the
-        seed that was already lost.
+        Raises :class:`~repro.errors.StorageError` if the disk fails
+        the append; a seed whose result cannot be made durable must
+        fail loudly, never report success.
         """
-        line = json.dumps(
-            {"seed": seed, "result": result_to_dict(result)}, sort_keys=True
-        )
-        with self.path_for(key).open("a+b") as handle:
-            handle.seek(0, 2)
-            if handle.tell() > 0:
-                handle.seek(-1, 2)
-                if handle.read(1) != b"\n":
-                    handle.write(b"\n")
-            handle.write(line.encode() + b"\n")
-            handle.flush()
+        line = encode_checkpoint_line(seed, result)
+        plan = active_fault_plan()
+        if plan is not None:
+            line = plan.corrupt_checkpoint_line(seed, line)
+        durable_append(self.path_for(key), line)
 
     def clear(self, key: str) -> None:
         """Drop the record of one sweep (``--checkpoint`` without
@@ -585,7 +608,7 @@ def write_reproducer_bundle(
     path = directory / (
         f"divergence-{fingerprint[:12]}-seed{mismatches[0][0]}.json"
     )
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return str(path)
 
 

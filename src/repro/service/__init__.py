@@ -28,7 +28,12 @@ assembled from the substrates the earlier PRs built:
   graceful SIGTERM drain;
 * :mod:`repro.service.client` — the urllib :class:`ServiceClient`
   behind ``repro service submit|status|result`` (explicit timeouts,
-  bounded retry with backoff on connection failures).
+  bounded retry with backoff on connection failures);
+* :mod:`repro.service.fsck` — :func:`fsck_data_dir`, the offline
+  auditor behind ``repro service fsck [--repair]``: cross-checks job
+  rows, checkpoint files and result blobs, reports every inconsistency
+  as a structured finding, and repairs conservatively (prune orphans,
+  demote inconsistent jobs to ``queued``) so a restart reconverges.
 
 The robustness contract, enforced by the chaos drills: worker death
 (local pool or remote ``kill -9``), service death, network drops,
@@ -40,6 +45,7 @@ loudly with structured quarantine records.
 
 from .api import SweepService
 from .client import ServiceClient, ServiceError
+from .fsck import fsck_data_dir
 from .scheduler import JobInterrupted, ShardScheduler, lower_job
 from .transport import RemoteShardScheduler, ShardBoard
 from .worker import ShardWorker, TransportError, WorkerTransport, worker_main
@@ -78,6 +84,7 @@ __all__ = [
     "TransportError",
     "WorkerTransport",
     "check_transition",
+    "fsck_data_dir",
     "job_key",
     "lower_job",
     "worker_main",

@@ -26,22 +26,32 @@ HTTP endpoints::
 
     POST /jobs                   submit {"scenario": name | "spec": {...},
                                  "seeds", "base_seed", "kernel", "setup_kernel"}
-                                 → 201 created / 200 deduped / 400 invalid
+                                 → 201 created / 200 deduped / 400 invalid /
+                                 503 while durable writes are failing
     GET  /jobs                   list all jobs (submission order)
     GET  /jobs/<id>              status + progress + metrics
     GET  /jobs/<id>/result       finished report (409 until terminal,
                                  410 after gc eviction)
     GET  /healthz                liveness probe
+    GET  /workers                lease-board fleet summary (held shards,
+                                 seeds landed, upload recency per worker)
     POST /shards/claim           {"worker": id} → a shard lease, or
                                  {"shard": null} (remote mode only: 409
                                  otherwise)
-    POST /shards/<id>/seeds      {"job", "worker", "seed", "result"} —
-                                 the durability write + lease heartbeat
-                                 (idempotent: dedup by (job, shard, seed))
+    POST /shards/<id>/seeds      {"job", "worker", "seed", "result"} or the
+                                 batched {"job", "worker", "seeds": [{"seed",
+                                 "result"}, ...]} — the durability write +
+                                 lease heartbeat (idempotent: dedup by
+                                 (job, shard, seed); batches answer
+                                 {"results": [per-seed replies]})
     POST /shards/<id>/fail       {"job", "worker", "error"} — charge the
                                  shard an attempt (retry/bisect/quarantine)
     POST /shards/<id>/release    hand a lease back blame-free (drain)
     POST /shards/<id>/done       close out a fully-uploaded lease
+
+When the service is started with a shared token (``--token``), every
+POST must carry ``Authorization: Bearer <token>`` — wrong or missing
+tokens get 401 via a constant-time compare; GETs stay open.
 
 The server is :class:`~http.server.ThreadingHTTPServer` — stdlib only,
 no new dependencies, good enough for the lab-scale concurrency the
@@ -50,15 +60,18 @@ service targets.
 
 from __future__ import annotations
 
+import hmac
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
-from ..errors import ConfigurationError, ReproError, invalid_field
+from ..errors import ConfigurationError, ReproError, StorageError, invalid_field
 from ..experiments import RetryPolicy, ServiceHalt, SweepCheckpoint
 from ..scenarios import ScenarioSpec, get_scenario
+from ..storage import atomic_write_bytes
 from ..telemetry import default_registry
 from .scheduler import JobInterrupted, ShardScheduler, lower_job
 from .transport import RemoteShardScheduler, ShardBoard
@@ -99,6 +112,7 @@ class SweepService:
         poll_interval: float = 0.05,
         remote: bool = False,
         max_jobs: int = 1,
+        token: Optional[str] = None,
     ) -> None:
         if max_jobs < 1:
             raise invalid_field(
@@ -133,6 +147,14 @@ class SweepService:
         self._active_lock = threading.Lock()
         self._active_schedulers: list = []
         self.halted = False  # set by the chaos harness's ServiceHalt
+        #: Shared secret for mutating endpoints (None = open service).
+        self.token = token
+        # Disk-pressure degradation: set when a durable write fails,
+        # cleared when one succeeds again.  While set, new submissions
+        # are refused with 503; claimed shards keep completing (their
+        # durability writes carry their own errors).
+        self._storage_error: Optional[str] = None
+        self._storage_retry_at = 0.0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -141,6 +163,11 @@ class SweepService:
     def store(self) -> JobStore:
         """The durable job store."""
         return self._store
+
+    @property
+    def data_dir(self) -> Path:
+        """The durable state directory (what ``fsck`` audits)."""
+        return self._data_dir
 
     @property
     def stopping(self) -> bool:
@@ -223,8 +250,13 @@ class SweepService:
         """Validate one submission payload and enqueue (or dedup) it.
 
         Raises :class:`~repro.errors.ConfigurationError` on any invalid
-        payload — the HTTP layer maps that to a 400.
+        payload — the HTTP layer maps that to a 400 — and
+        :class:`~repro.errors.StorageError` when the data dir cannot
+        take durable writes (mapped to 503): a service under disk
+        pressure must refuse new promises while it finishes the ones
+        already claimed.
         """
+        self._check_storage()
         if not isinstance(payload, dict):
             raise invalid_field(
                 "Job", "payload", type(payload).__name__,
@@ -290,6 +322,38 @@ class SweepService:
         return record, created
 
     # ------------------------------------------------------------------
+    # Disk-pressure degradation
+    # ------------------------------------------------------------------
+    def _check_storage(self) -> None:
+        """Refuse new work while durable writes are failing.
+
+        Two gates: the degraded flag a failed result-blob write set
+        (cleared only when a blob lands again), and a small probe write
+        through the durable seam — so a read-only or full data dir
+        turns away submissions *before* the service promises to finish
+        them.
+        """
+        if self._storage_error is not None:
+            raise StorageError(
+                f"service storage degraded: {self._storage_error}"
+            )
+        atomic_write_bytes(self._data_dir / ".write-probe", b"ok\n")
+
+    def _note_storage_error(self, job: JobRecord, exc: StorageError) -> None:
+        """A durable write failed mid-job: degrade, back off, and put
+        the job back in the queue (its seeds are checkpointed, so the
+        retry costs only the failed write)."""
+        self._storage_error = str(exc)
+        self._storage_retry_at = time.monotonic() + 1.0
+        default_registry().inc("service.storage_errors")
+        try:
+            self._store.transition(job.job_id, QUEUED)
+        except Exception:
+            # Even the row update failed (a truly dead disk): leave the
+            # job `running`; the next start's recover() re-queues it.
+            pass
+
+    # ------------------------------------------------------------------
     # The remote-worker lease API (HTTP handler threads land here)
     # ------------------------------------------------------------------
     def claim_shard(self, payload: object) -> Tuple[int, Dict[str, object]]:
@@ -323,6 +387,41 @@ class SweepService:
         if not isinstance(job, str) or not isinstance(worker, str):
             return 400, {"error": "'job' and 'worker' must be strings"}
         if action == "seeds":
+            if "seeds" in payload:
+                # Batched upload: a list of {"seed", "result"} entries,
+                # answered entry-by-entry with the same per-seed dedup
+                # replies a single upload gets.
+                entries = payload.get("seeds")
+                if not isinstance(entries, list) or not entries:
+                    return 400, {
+                        "error": "'seeds' must be a non-empty list of "
+                        "{'seed', 'result'} entries"
+                    }
+                pairs = []
+                for entry in entries:
+                    if not isinstance(entry, dict):
+                        return 400, {"error": "each batch entry must be an object"}
+                    seed = entry.get("seed")
+                    result = entry.get("result")
+                    if not isinstance(seed, int) or isinstance(seed, bool):
+                        return 400, {"error": "'seed' must be an integer"}
+                    if not isinstance(result, dict):
+                        return 400, {"error": "'result' must be a result document"}
+                    pairs.append((seed, result))
+                replies = []
+                for seed, result in pairs:
+                    try:
+                        replies.append(
+                            self._board.record_seed(
+                                job, shard_id, worker, seed, result
+                            )
+                        )
+                    except (KeyError, TypeError, ValueError) as exc:
+                        return 400, {
+                            "error": f"malformed result document: "
+                            f"{type(exc).__name__}: {exc}"
+                        }
+                return 200, {"results": replies}
             seed = payload.get("seed")
             result = payload.get("result")
             if not isinstance(seed, int) or isinstance(seed, bool):
@@ -376,6 +475,12 @@ class SweepService:
         }
         return info
 
+    def workers_summary(self) -> Dict[str, object]:
+        """The fleet view behind ``GET /workers``: every worker the
+        lease board has seen, with held shards and upload recency."""
+        workers = self._board.workers() if self._board is not None else []
+        return {"remote": self._board is not None, "workers": workers}
+
     # ------------------------------------------------------------------
     # The scheduler loop
     # ------------------------------------------------------------------
@@ -388,6 +493,10 @@ class SweepService:
         while not self._stop.is_set():
             threads = [t for t in threads if t.is_alive()]
             if len(threads) >= self._max_jobs:
+                self._stop.wait(0.05)
+                continue
+            if time.monotonic() < self._storage_retry_at:
+                # Disk pressure: don't busy-loop claim/fail cycles.
                 self._stop.wait(0.05)
                 continue
             job = self._store.claim_next()
@@ -429,6 +538,11 @@ class SweepService:
             # touching the job record — recovery must do that work.
             self.halted = True
             self._stop.set()
+        except StorageError as exc:
+            # The disk failed a durability write mid-job: degrade and
+            # re-queue (checked before ReproError — it is one, but the
+            # job is retryable, not failed).
+            self._note_storage_error(job, exc)
         except ReproError as exc:
             self._store.transition(job.job_id, FAILED, error=str(exc))
         except Exception as exc:  # a worker bug must not kill the service
@@ -437,9 +551,14 @@ class SweepService:
             )
         else:
             state = QUARANTINED if outcome.failures else DONE
-            self._store.transition(
-                job.job_id, state, result_json=outcome.to_json()
-            )
+            try:
+                self._store.transition(
+                    job.job_id, state, result_json=outcome.to_json()
+                )
+            except StorageError as exc:
+                self._note_storage_error(job, exc)
+            else:
+                self._storage_error = None
         finally:
             with self._active_lock:
                 if scheduler in self._active_schedulers:
@@ -477,17 +596,36 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _authorized(self) -> bool:
+        """Bearer-token check for mutating endpoints.
+
+        Constant-time comparison: a token service must not leak its
+        secret one matching prefix byte at a time.
+        """
+        token = self._service.token
+        if token is None:
+            return True
+        header = self.headers.get("Authorization", "")
+        supplied = header[len("Bearer ") :] if header.startswith("Bearer ") else ""
+        return hmac.compare_digest(supplied.encode(), token.encode())
+
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         try:
             length = int(self.headers.get("Content-Length", 0))
             raw = self.rfile.read(length)
+            if not self._authorized():
+                self._reply(401, {"error": "missing or invalid bearer token"})
+                return
             try:
                 payload = json.loads(raw) if raw else {}
             except ValueError:
                 self._reply(400, {"error": "request body is not valid JSON"})
                 return
             self._route_post(payload)
+        except StorageError as exc:
+            # Disk pressure: refuse new promises, keep serving reads.
+            self._reply(503, {"error": str(exc)})
         except ConfigurationError as exc:
             self._reply(400, {"error": str(exc)})
         except Exception as exc:  # never a crash, never a traceback page
@@ -531,6 +669,9 @@ class _Handler(BaseHTTPRequestHandler):
         if parts == ["healthz"]:
             self._reply(200, {"ok": True})
             return
+        if parts == ["workers"]:
+            self._reply(200, self._service.workers_summary())
+            return
         if parts == ["jobs"]:
             self._reply(
                 200,
@@ -549,9 +690,10 @@ class _Handler(BaseHTTPRequestHandler):
             if record is None:
                 self._reply(404, {"error": f"unknown job {parts[1]!r}"})
             elif record.state in (DONE, QUARANTINED):
-                if record.result_json is None:
-                    # Terminal but evicted by `repro service gc`: the
-                    # record survives for dedup, the blob is gone.
+                if record.evicted or record.result_json is None:
+                    # Terminal but evicted by `repro service gc` (or a
+                    # blob fsck hasn't repaired yet): the record
+                    # survives for dedup, the blob is gone.
                     self._reply(
                         410,
                         {

@@ -43,6 +43,7 @@ def _request_raw(
     retries: int = 3,
     backoff: float = 0.2,
     sleep: Callable[[float], None] = time.sleep,
+    token: Optional[str] = None,
 ) -> bytes:
     """One HTTP exchange returning the raw response body.
 
@@ -54,6 +55,8 @@ def _request_raw(
     if payload is not None:
         data = json.dumps(payload).encode()
         headers["Content-Type"] = "application/json"
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
     attempt = 0
     while True:
         attempt += 1
@@ -87,10 +90,16 @@ def _request(
     timeout: float = 30.0,
     retries: int = 3,
     backoff: float = 0.2,
+    token: Optional[str] = None,
 ) -> Dict:
     return json.loads(
         _request_raw(
-            url, payload, timeout=timeout, retries=retries, backoff=backoff
+            url,
+            payload,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            token=token,
         ).decode()
     )
 
@@ -100,7 +109,9 @@ class ServiceClient:
 
     ``retries``/``backoff`` bound the per-call retry schedule on
     connection-level failures (see the module docstring); ``retries=1``
-    restores fail-fast behaviour.
+    restores fail-fast behaviour.  ``token`` is sent as a ``Bearer``
+    header on every request when the service was started with
+    ``--token`` (mutating endpoints answer 401 without it).
     """
 
     def __init__(
@@ -109,11 +120,13 @@ class ServiceClient:
         timeout: float = 30.0,
         retries: int = 3,
         backoff: float = 0.2,
+        token: Optional[str] = None,
     ) -> None:
         self._base = base_url.rstrip("/")
         self._timeout = timeout
         self._retries = retries
         self._backoff = backoff
+        self._token = token
 
     def _get(self, path: str, payload: Optional[Dict] = None) -> Dict:
         return _request(
@@ -122,11 +135,16 @@ class ServiceClient:
             timeout=self._timeout,
             retries=self._retries,
             backoff=self._backoff,
+            token=self._token,
         )
 
     def health(self) -> Dict:
         """Liveness probe (``GET /healthz``)."""
         return self._get("/healthz")
+
+    def workers(self) -> Dict:
+        """The lease-board fleet summary (``GET /workers``)."""
+        return self._get("/workers")
 
     def submit(self, payload: Dict) -> Dict:
         """Submit a job; returns ``{"job", "state", "created"}``.
@@ -151,6 +169,7 @@ class ServiceClient:
             timeout=self._timeout,
             retries=self._retries,
             backoff=self._backoff,
+            token=self._token,
         ).decode()
 
     def wait(

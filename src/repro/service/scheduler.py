@@ -340,6 +340,24 @@ class ShardScheduler:
                 kernel, setup_kernel, stop, on_progress,
             )
 
+        # A shard can report success while an append was silently
+        # corrupted (a lying disk — the chaos drill's
+        # ``corrupt_checkpoint_seeds``): the line digest makes the
+        # loader drop such records, so any seed still missing gets one
+        # recovery pass before the merge is allowed to fail the job.
+        quarantined = {f.seed for f in failures}
+        on_disk = self._checkpoint.load(key)
+        leftover = [
+            s for s in seeds if s not in quarantined and s not in on_disk
+        ]
+        if leftover:
+            registry.inc("service.recovery_passes")
+            failures = failures + self._supervise(
+                spec, config, key, leftover, len(seeds),
+                kernel, setup_kernel, stop, on_progress,
+            )
+            failures.sort(key=lambda f: f.seed)
+
         return self._merge(spec, topology, config, key, seeds, failures)
 
     def _supervise(

@@ -100,8 +100,11 @@ class JobRecord:
 
     ``spec_json`` is the spec's canonical JSON (the submission payload
     survives restarts verbatim); ``result_json`` is the finished
-    report's exact bytes (``ScenarioOutcome.to_json()``), set only in
-    ``done``/``quarantined``; ``error`` is set only in ``failed``.
+    report's exact bytes (``ScenarioOutcome.to_json()``, loaded from
+    the job's result-blob file), set only in ``done``/``quarantined``;
+    ``error`` is set only in ``failed``.  ``evicted`` marks a terminal
+    job whose blob ``service gc`` removed on purpose (as opposed to a
+    blob that is *missing*, which is an inconsistency fsck reports).
     ``submit_order`` is the FIFO position (a counter, not a timestamp —
     nothing wall-clock enters the store).
     """
@@ -116,6 +119,7 @@ class JobRecord:
     error: Optional[str] = None
     result_json: Optional[str] = None
     submit_order: int = 0
+    evicted: bool = False
 
     def spec(self) -> ScenarioSpec:
         """Rebuild the submitted spec."""
@@ -136,7 +140,7 @@ class JobRecord:
             info["setup_kernel"] = self.setup_kernel
         if self.error is not None:
             info["error"] = self.error
-        if self.state in (DONE, QUARANTINED) and self.result_json is None:
+        if self.evicted:
             # Terminal without a blob: `service gc` evicted the result
             # (the record itself survives so resubmissions still dedup).
             info["evicted"] = True

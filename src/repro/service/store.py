@@ -1,4 +1,4 @@
-"""The durable job store: SQLite under the service's ``--data-dir``.
+"""The durable job store: SQLite rows + atomic result-blob files.
 
 Design rules, all in service of "a restart never loses a job":
 
@@ -15,6 +15,15 @@ Design rules, all in service of "a restart never loses a job":
   inside a single ``UPDATE … WHERE state='queued'`` guarded by an
   immediate transaction, so two scheduler threads (or a scheduler
   racing a recovering restart) can never both run one job.
+* **Result blobs are files, not rows** — a finished report's exact
+  bytes live in ``<data-dir>/results/<job_id>.json``, written through
+  the crash-consistent seam (:func:`~repro.storage.atomic_write_text`)
+  *before* the row flips to its terminal state.  A crash between the
+  two leaves an orphan blob for a non-terminal job — debris ``repro
+  service fsck`` prunes — never a ``done`` row whose report is missing
+  or torn.  It also puts the largest artefact the service writes under
+  the disk-fault chaos drill, and makes ``gc`` a file unlink instead
+  of a row rewrite.
 * **No wall clock** — ordering uses a monotonically assigned
   ``submit_order`` counter.  Nothing in the store (and therefore
   nothing in any report served from it) depends on time or host.
@@ -26,6 +35,7 @@ import sqlite3
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
+from ..storage import atomic_write_text
 from .state import (
     DONE,
     QUARANTINED,
@@ -36,8 +46,9 @@ from .state import (
 )
 
 #: Store format version (part of the table name: a format change can
-#: never silently read old rows).
-STORE_VERSION = 1
+#: never silently read old rows).  v2: the ``result`` column became
+#: result-blob files plus an ``evicted`` flag.
+STORE_VERSION = 2
 
 _TABLE = f"jobs_v{STORE_VERSION}"
 
@@ -48,6 +59,7 @@ class JobStore:
     def __init__(self, path: Union[str, Path]) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._results_dir = self._path.parent / "results"
         with self._connect() as conn:
             conn.execute(
                 f"CREATE TABLE IF NOT EXISTS {_TABLE} ("
@@ -59,7 +71,7 @@ class JobStore:
                 "  setup_kernel TEXT,"
                 "  state TEXT NOT NULL,"
                 "  error TEXT,"
-                "  result TEXT,"
+                "  evicted INTEGER NOT NULL DEFAULT 0,"
                 "  submit_order INTEGER NOT NULL"
                 ")"
             )
@@ -68,6 +80,15 @@ class JobStore:
     def path(self) -> Path:
         """The backing database file."""
         return self._path
+
+    @property
+    def results_dir(self) -> Path:
+        """The directory holding result-blob files."""
+        return self._results_dir
+
+    def result_path(self, job_id: str) -> Path:
+        """The result-blob file backing one job's report bytes."""
+        return self._results_dir / f"{job_id}.json"
 
     def _connect(self) -> sqlite3.Connection:
         conn = sqlite3.connect(self._path, timeout=30.0)
@@ -92,8 +113,8 @@ class JobStore:
             cursor = conn.execute(
                 f"INSERT OR IGNORE INTO {_TABLE} "
                 "(job_id, spec, repeats, base_seed, kernel, setup_kernel,"
-                " state, error, result, submit_order) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, NULL, NULL, ?)",
+                " state, error, evicted, submit_order) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, NULL, 0, ?)",
                 (
                     record.job_id,
                     record.spec_json,
@@ -130,6 +151,13 @@ class JobStore:
             ).fetchall()
         return [self._record(row) for row in rows]
 
+    def load_result(self, job_id: str) -> Optional[str]:
+        """The job's report bytes from its blob file, or ``None``."""
+        try:
+            return self.result_path(job_id).read_text()
+        except OSError:
+            return None
+
     # ------------------------------------------------------------------
     # State changes
     # ------------------------------------------------------------------
@@ -160,7 +188,17 @@ class JobStore:
         error: Optional[str] = None,
         result_json: Optional[str] = None,
     ) -> JobRecord:
-        """Move one job along a validated state-machine edge."""
+        """Move one job along a validated state-machine edge.
+
+        A ``result_json`` payload is made durable (atomic blob write,
+        :class:`~repro.errors.StorageError` on failure) *before* the
+        row flips — the crash window can only ever leave an orphan
+        blob, never a terminal row without its report.  Re-queueing
+        (``running → queued``) discards any stale blob so a resumed
+        job starts clean.
+        """
+        if result_json is not None:
+            atomic_write_text(self.result_path(job_id), result_json)
         with self._connect() as conn:
             conn.execute("BEGIN IMMEDIATE")
             row = conn.execute(
@@ -170,13 +208,46 @@ class JobStore:
                 raise KeyError(f"unknown job {job_id!r}")
             check_transition(row[0], new_state)
             conn.execute(
-                f"UPDATE {_TABLE} SET state = ?, error = ?, result = ? "
-                "WHERE job_id = ?",
-                (new_state, error, result_json, job_id),
+                f"UPDATE {_TABLE} SET state = ?, error = ? WHERE job_id = ?",
+                (new_state, error, job_id),
             )
             updated = conn.execute(
                 f"SELECT * FROM {_TABLE} WHERE job_id = ?", (job_id,)
             ).fetchone()
+        if result_json is None and new_state == QUEUED:
+            try:
+                self.result_path(job_id).unlink(missing_ok=True)
+            except OSError:
+                pass
+        return self._record(updated)
+
+    def demote(self, job_id: str) -> Optional[JobRecord]:
+        """Force one job back to ``queued`` — the fsck repair edge.
+
+        Unlike :meth:`transition` this bypasses the state machine (fsck
+        demotes *terminal* jobs whose artefacts are inconsistent) and
+        drops the job's result blob, so the next claim re-runs from the
+        checkpoint and rewrites the report atomically.
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                f"SELECT job_id FROM {_TABLE} WHERE job_id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                f"UPDATE {_TABLE} SET state = ?, error = NULL, evicted = 0 "
+                "WHERE job_id = ?",
+                (QUEUED, job_id),
+            )
+            updated = conn.execute(
+                f"SELECT * FROM {_TABLE} WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        try:
+            self.result_path(job_id).unlink(missing_ok=True)
+        except OSError:
+            pass
         return self._record(updated)
 
     def recover(self) -> int:
@@ -196,12 +267,13 @@ class JobStore:
         jobs (``repro service gc --keep N``).
 
         Ordering is by ``submit_order`` — the store's monotonic
-        counter, never a wall clock — and only the ``result`` column is
-        cleared: the :class:`JobRecord` row survives, so resubmitting
-        an evicted job still dedups to it (the documented trade-off:
-        recomputing an evicted report requires clearing the row).
-        Returns the evicted records (as they were *before* eviction, so
-        callers can prune derived artefacts like checkpoint files).
+        counter, never a wall clock — and only the blob file is
+        removed (the row gains ``evicted=1``): the :class:`JobRecord`
+        survives, so resubmitting an evicted job still dedups to it
+        (the documented trade-off: recomputing an evicted report
+        requires clearing the row).  Returns the evicted records (as
+        they were *before* eviction, so callers can prune derived
+        artefacts like checkpoint files).
         """
         if keep < 0:
             raise ValueError(f"gc keep must be >= 0, got {keep}")
@@ -209,25 +281,33 @@ class JobStore:
             conn.execute("BEGIN IMMEDIATE")
             rows = conn.execute(
                 f"SELECT * FROM {_TABLE} "
-                "WHERE state IN (?, ?) AND result IS NOT NULL "
+                "WHERE state IN (?, ?) AND evicted = 0 "
                 "ORDER BY submit_order DESC",
                 (DONE, QUARANTINED),
             ).fetchall()
             victims = rows[keep:]
             for row in victims:
                 conn.execute(
-                    f"UPDATE {_TABLE} SET result = NULL WHERE job_id = ?",
+                    f"UPDATE {_TABLE} SET evicted = 1 WHERE job_id = ?",
                     (row[0],),
                 )
-        return [self._record(row) for row in victims]
+        records = [self._record(row) for row in victims]
+        for record in records:
+            try:
+                self.result_path(record.job_id).unlink(missing_ok=True)
+            except OSError:
+                pass
+        return records
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _record(row: Tuple) -> JobRecord:
+    def _record(self, row: Tuple) -> JobRecord:
         (
             job_id, spec, repeats, base_seed, kernel, setup_kernel,
-            state, error, result, submit_order,
+            state, error, evicted, submit_order,
         ) = row
+        result_json = None
+        if state in (DONE, QUARANTINED) and not evicted:
+            result_json = self.load_result(job_id)
         return JobRecord(
             job_id=job_id,
             spec_json=spec,
@@ -237,6 +317,7 @@ class JobStore:
             setup_kernel=setup_kernel,
             state=state,
             error=error,
-            result_json=result,
+            result_json=result_json,
             submit_order=submit_order,
+            evicted=bool(evicted),
         )

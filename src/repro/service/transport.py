@@ -147,6 +147,17 @@ class ShardBoard:
         self._checkpoint = checkpoint
         self._lock = threading.Lock()
         self._jobs: "OrderedDict[str, _BoardJob]" = OrderedDict()
+        # Fleet bookkeeping for GET /workers: every worker id the board
+        # has ever seen this process lifetime (leases are ephemeral, so
+        # this is observability state, never scheduling state).
+        self._worker_stats: Dict[str, Dict[str, float]] = {}
+
+    def _stats_for(self, worker: str) -> Dict[str, float]:
+        stats = self._worker_stats.get(worker)
+        if stats is None:
+            stats = {"claims": 0, "seeds_landed": 0, "last_upload": -1.0}
+            self._worker_stats[worker] = stats
+        return stats
 
     # ------------------------------------------------------------------
     # Scheduler side
@@ -235,6 +246,34 @@ class ShardBoard:
                 "workers": sorted({l.worker for l in job.leases.values()}),
             }
 
+    def workers(self, now: Optional[float] = None) -> List[Dict[str, object]]:
+        """The fleet summary behind ``GET /workers``: one entry per
+        worker id the board has seen, with currently-held shards and
+        upload recency (``seconds_since_upload`` is ``None`` for a
+        worker that has claimed but never landed a seed)."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            held: Dict[str, int] = {}
+            for job in self._jobs.values():
+                for lease in job.leases.values():
+                    held[lease.worker] = held.get(lease.worker, 0) + 1
+            summary = []
+            for worker in sorted(self._worker_stats):
+                stats = self._worker_stats[worker]
+                last = stats["last_upload"]
+                summary.append(
+                    {
+                        "worker": worker,
+                        "claims": int(stats["claims"]),
+                        "shards_held": held.get(worker, 0),
+                        "seeds_landed": int(stats["seeds_landed"]),
+                        "seconds_since_upload": (
+                            None if last < 0 else round(now - last, 3)
+                        ),
+                    }
+                )
+        return summary
+
     # ------------------------------------------------------------------
     # Worker side (called from HTTP handler threads)
     # ------------------------------------------------------------------
@@ -263,6 +302,7 @@ class ShardBoard:
                     job.next_shard += 1
                     shard_id = f"{job.job_id[:12]}.{job.next_shard}"
                     job.leases[shard_id] = _Lease(shard_id, shard, worker, now)
+                    self._stats_for(worker)["claims"] += 1
                     default_registry().inc("service.leases.granted")
                     return {
                         "job": job.job_id,
@@ -298,6 +338,8 @@ class ShardBoard:
         result = result_from_dict(result_doc)
         registry = default_registry()
         with self._lock:
+            stats = self._stats_for(worker)
+            stats["last_upload"] = time.monotonic()
             job = self._jobs.get(job_id)
             if job is None:
                 registry.inc("service.uploads.unknown")
@@ -306,6 +348,7 @@ class ShardBoard:
             if not duplicate:
                 self._checkpoint.append(job.key, seed, result)
                 job.done.add(seed)
+                stats["seeds_landed"] += 1
             lease = job.leases.get(shard_id)
             stale = lease is None or lease.worker != worker
             if not stale:

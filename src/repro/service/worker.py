@@ -86,11 +86,13 @@ class WorkerTransport:
         timeout: float = 10.0,
         retry: Optional[RetryPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
+        token: Optional[str] = None,
     ) -> None:
         self._base = base_url.rstrip("/")
         self._timeout = timeout
         self._retry = retry if retry is not None else RetryPolicy()
         self._sleep = sleep
+        self._token = token
         self._ordinal = 0
         self._partitioned_until = 0.0
 
@@ -140,13 +142,14 @@ class WorkerTransport:
         if time.monotonic() < self._partitioned_until:
             raise TransportError(0, "worker is partitioned from the service")
         data = json.dumps(payload).encode()
+        headers = {
+            "Content-Type": "application/json",
+            "Accept": "application/json",
+        }
+        if self._token is not None:
+            headers["Authorization"] = f"Bearer {self._token}"
         request = urllib.request.Request(
-            f"{self._base}{path}",
-            data=data,
-            headers={
-                "Content-Type": "application/json",
-                "Accept": "application/json",
-            },
+            f"{self._base}{path}", data=data, headers=headers
         )
         try:
             with urllib.request.urlopen(request, timeout=self._timeout) as resp:
@@ -174,6 +177,14 @@ class ShardWorker:
     forever.  :meth:`request_stop` (the SIGTERM hook) finishes and
     uploads the seed in flight, releases the rest of the lease, and
     returns from :meth:`run`.
+
+    ``upload_batch`` > 1 coalesces up to that many finished seeds into
+    one batched ``POST /shards/<id>/seeds`` (the upload is still the
+    lease heartbeat, so the batch is flushed whenever the buffer fills,
+    the shard ends, a drain starts, or chaos partitions the link — at
+    most ``upload_batch`` seeds ride on one heartbeat).  Dedup is
+    per-seed server-side either way, so crossing a crash or duplicate
+    with a batch changes nothing about the answers.
     """
 
     def __init__(
@@ -185,13 +196,16 @@ class ShardWorker:
         retry: Optional[RetryPolicy] = None,
         idle_exit: Optional[float] = None,
         sleep: Callable[[float], None] = time.sleep,
+        token: Optional[str] = None,
+        upload_batch: int = 1,
     ) -> None:
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.transport = WorkerTransport(
-            base_url, timeout=timeout, retry=retry, sleep=sleep
+            base_url, timeout=timeout, retry=retry, sleep=sleep, token=token
         )
         self._poll = poll_interval
         self._idle_exit = idle_exit
+        self._batch = max(1, int(upload_batch))
         self._stop = threading.Event()
         # job_id -> (runner, config): lowering a job is expensive next
         # to one seed, and a worker usually drains many shards of the
@@ -284,9 +298,21 @@ class ShardWorker:
             if tracer is not None
             else None
         )
+        buffer: list = []
+
+        def flush() -> bool:
+            if not buffer:
+                return True
+            entries = list(buffer)
+            buffer.clear()
+            return self._flush(job_id, shard_id, entries, plan)
+
         with span if span is not None else _null_context():
             for index, seed in enumerate(claim["seeds"]):
                 if self._stop.is_set():
+                    if not flush():
+                        registry.inc("worker.abandoned")
+                        return executed
                     self._release(job_id, shard_id)
                     return executed
                 if plan is not None:
@@ -295,20 +321,29 @@ class ShardWorker:
                     try:
                         plan.before_seed(seed)
                     except Exception as exc:
+                        flush()
                         self._fail(job_id, shard_id, exc)
                         return executed
                 try:
                     result = runner.run_once(config, seed)
                 except Exception as exc:
+                    flush()
                     self._fail(job_id, shard_id, exc)
                     return executed
                 executed += 1
-                document = result_to_dict(result)
-                if plan is not None and plan.partition_before_upload(seed):
+                buffer.append((seed, result_to_dict(result)))
+                partitioned = (
+                    plan is not None and plan.partition_before_upload(seed)
+                )
+                if partitioned:
                     self.transport.partition(plan.partition_seconds)
-                if not self._upload(job_id, shard_id, seed, document, plan):
-                    registry.inc("worker.abandoned")
-                    return executed
+                if partitioned or len(buffer) >= self._batch:
+                    if not flush():
+                        registry.inc("worker.abandoned")
+                        return executed
+            if not flush():
+                registry.inc("worker.abandoned")
+                return executed
         # Usually the last accepted upload already released the lease
         # server-side; this covers a shard whose seeds all deduped.
         self._post_quietly(
@@ -316,6 +351,55 @@ class ShardWorker:
             {"job": job_id, "worker": self.worker_id},
         )
         return executed
+
+    def _flush(
+        self,
+        job_id: str,
+        shard_id: str,
+        entries: list,
+        plan,
+    ) -> bool:
+        """Upload a buffer of finished ``(seed, document)`` pairs;
+        ``False`` means the shard must be abandoned.
+
+        A single-entry buffer takes the legacy single-seed shape (the
+        common case, and what ``upload_batch=1`` always sends); larger
+        buffers take the batched ``{"seeds": [...]}`` shape and are
+        accepted entry-by-entry with the same per-seed dedup replies.
+        """
+        if len(entries) == 1:
+            seed, document = entries[0]
+            return self._upload(job_id, shard_id, seed, document, plan)
+        registry = default_registry()
+        payload = {
+            "job": job_id,
+            "worker": self.worker_id,
+            "seeds": [
+                {"seed": seed, "result": document}
+                for seed, document in entries
+            ],
+        }
+        duplicate = plan is not None and any(
+            plan.duplicate_upload(seed) for seed, _ in entries
+        )
+        sends = 2 if duplicate else 1
+        reply: Optional[Dict] = None
+        for _ in range(sends):
+            try:
+                reply = self.transport.post(f"/shards/{shard_id}/seeds", payload)
+            except TransportError:
+                return False
+            registry.inc("worker.uploads")
+            registry.inc("worker.batched_seeds", len(entries))
+            if sends == 2:
+                registry.inc("worker.duplicate_uploads")
+        replies = reply.get("results") if isinstance(reply, dict) else None
+        if not isinstance(replies, list) or not any(
+            isinstance(entry, dict) and entry.get("known", False)
+            for entry in replies
+        ):
+            return False  # the job is gone; stop working on it
+        return True
 
     def _upload(
         self,
@@ -395,6 +479,8 @@ def worker_main(
     timeout: float = 10.0,
     idle_exit: Optional[float] = None,
     max_attempts: Optional[int] = None,
+    token: Optional[str] = None,
+    upload_batch: int = 1,
 ) -> int:
     """Run one worker process to completion (the ``repro worker start``
     entry point; module-level so test harnesses can spawn it directly).
@@ -409,6 +495,8 @@ def worker_main(
         timeout=timeout,
         retry=retry,
         idle_exit=idle_exit,
+        token=token,
+        upload_batch=upload_batch,
     )
 
     def _on_signal(signum: int, frame: object) -> None:

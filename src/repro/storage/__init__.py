@@ -1,0 +1,24 @@
+"""Crash-consistent storage primitives (see :mod:`repro.storage.io`).
+
+Every on-disk artefact the repo produces — checkpoint lines, result
+blobs, telemetry exports, scenario/report files, bench artifacts —
+flows through this package's two write primitives, which is what makes
+the disk-fault chaos drill (``FaultPlan`` storage kinds) and the
+``repro service fsck`` audit exhaustive rather than per-writer.
+"""
+
+from .io import (
+    FSYNC_ENV,
+    atomic_write_bytes,
+    atomic_write_text,
+    durable_append,
+    fsync_enabled,
+)
+
+__all__ = [
+    "FSYNC_ENV",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "durable_append",
+    "fsync_enabled",
+]

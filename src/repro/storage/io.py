@@ -1,0 +1,191 @@
+"""Crash-consistent durable IO — the one seam every repo write crosses.
+
+The reliability contract of the checkpoint/service stack ("kill -9
+anywhere, restart, reconverge to byte-identical reports") is only as
+strong as its weakest write.  This module is where the repo's write
+discipline lives, in exactly two primitives:
+
+:func:`atomic_write_bytes` / :func:`atomic_write_text`
+    Whole-artefact replacement (result blobs, telemetry exports,
+    scenario/report files, BENCH json).  Tempfile in the *target*
+    directory → write → flush → ``fsync`` → ``os.replace`` → directory
+    ``fsync``.  Readers can never observe a half-written artefact: the
+    path either holds the old bytes or the new bytes, across any crash.
+
+:func:`durable_append`
+    Log-structured growth (checkpoint lines).  Opens ``a+b``, welds a
+    torn trailing line from a previous crash (a missing final newline
+    gets one *before* the new record, so the new record is never
+    corrupted by the old one's debris), writes the record in a single
+    ``write`` call, flushes, and — by default — ``fsync``\\ s.  A crash
+    mid-append loses at most the line being written, and the welding
+    plus the checkpoint loader's skip-corrupt-lines policy make that
+    loss recoverable instead of contagious.
+
+Every ``OSError`` escaping either primitive is wrapped in a typed
+:class:`~repro.errors.StorageError` so callers up the stack (CLI exit
+codes, the service's 503-while-degraded answer) can tell "the disk
+failed us" apart from ordinary sweep failures.
+
+Fault injection
+---------------
+The storage chaos kinds of :class:`~repro.experiments.faults.FaultPlan`
+(``torn_writes``, ``short_writes``, ``enospc_writes``,
+``readonly_writes``) are injected *inside* this seam — in
+:func:`_write_payload`, the one place both primitives push bytes at the
+OS — so migrating a writer onto the seam automatically puts it under
+the disk-chaos drill.
+
+``fsync`` policy
+----------------
+``fsync=None`` (the default everywhere) defers to the
+``REPRO_DURABLE_FSYNC`` environment variable: set it to ``0`` to trade
+power-loss durability for speed (process-crash consistency is kept —
+the atomic rename and the welded append do not depend on fsync).
+PERFORMANCE.md records the measured cost.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import StorageError, storage_failure
+
+__all__ = [
+    "FSYNC_ENV",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "durable_append",
+    "fsync_enabled",
+]
+
+#: Set to ``0`` to disable fsync on durable writes (crash consistency
+#: is preserved; power-loss durability is not).
+FSYNC_ENV = "REPRO_DURABLE_FSYNC"
+
+
+def fsync_enabled() -> bool:
+    """The process-wide fsync default (see :data:`FSYNC_ENV`)."""
+    return os.environ.get(FSYNC_ENV, "1") != "0"
+
+
+def _active_plan():
+    # Imported lazily: repro.storage must stay importable before (and
+    # by) repro.experiments without a cycle.
+    from ..experiments.faults import active_fault_plan
+
+    return active_fault_plan()
+
+
+def _write_payload(handle, data: bytes, path: Path) -> None:
+    """Push ``data`` at the OS — the storage-chaos injection point.
+
+    An active :class:`FaultPlan` whose ``storage_fault`` matches
+    ``path`` fires here: ``torn`` writes half the payload and kills the
+    process exactly as SIGKILL mid-write would land; ``short`` silently
+    truncates the write (the caller believes it succeeded); ``enospc``
+    writes half and raises ``ENOSPC``; ``readonly`` raises ``EROFS``
+    before writing anything.
+    """
+    plan = _active_plan()
+    if plan is not None:
+        data = plan.storage_write_fault(path, handle, data)
+    handle.write(data)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory after a rename into it.
+
+    Failure here (some filesystems refuse ``O_RDONLY`` dir fsync) only
+    weakens power-loss durability of the *rename*; the file contents
+    are already synced, so it is not worth failing the write over.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, Path], data: bytes, fsync: Optional[bool] = None
+) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    The temporary file lives in the target directory (``os.replace``
+    must not cross filesystems) under a ``.<name>.tmp-<pid>`` name that
+    ``repro service fsck`` recognises as crash debris.  On any failure
+    the temporary is unlinked and the error is raised as a
+    :class:`~repro.errors.StorageError`; the target path is untouched.
+    """
+    path = Path(path)
+    if fsync is None:
+        fsync = fsync_enabled()
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "wb") as handle:
+            _write_payload(handle, data, path)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise storage_failure("atomic_write", path, exc) from exc
+    if fsync:
+        _fsync_dir(path.parent)
+
+
+def atomic_write_text(
+    path: Union[str, Path],
+    text: str,
+    fsync: Optional[bool] = None,
+    encoding: str = "utf-8",
+) -> None:
+    """:func:`atomic_write_bytes` for text payloads."""
+    atomic_write_bytes(path, text.encode(encoding), fsync=fsync)
+
+
+def durable_append(
+    path: Union[str, Path], line: str, fsync: Optional[bool] = None
+) -> None:
+    """Durably append one newline-terminated record to a log file.
+
+    ``line`` must not itself contain a newline (one record per call is
+    what makes torn-write recovery line-local).  If the file's current
+    tail is a torn line from an earlier crash, a welding newline is
+    written *in the same OS write* as the new record, so no crash
+    ordering can corrupt the new record with the old debris.
+    """
+    path = Path(path)
+    if "\n" in line:
+        raise ValueError("durable_append takes exactly one record, no newlines")
+    if fsync is None:
+        fsync = fsync_enabled()
+    payload = (line + "\n").encode("utf-8")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    # Weld the torn tail before (and with) the record.
+                    payload = b"\n" + payload
+            _write_payload(handle, payload, path)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+    except OSError as exc:
+        raise storage_failure("durable_append", path, exc) from exc

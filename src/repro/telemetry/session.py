@@ -27,9 +27,12 @@ supervisor hands the payload to :func:`absorb_worker_payload`.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..errors import StorageError
+from ..storage import atomic_write_text
 from .registry import MetricsRegistry, default_registry, use_registry
 from .spans import (
     DEFAULT_MAX_SPANS,
@@ -108,7 +111,17 @@ class TelemetrySession:
         self._tracing_ctx.__exit__(None, None, None)
         self._registry_ctx.__exit__(None, None, None)
         if self.directory is not None and exc_type is None:
-            self.export(self.directory)
+            # Telemetry is an observer: a full or read-only telemetry
+            # target must never cost the run its (already computed)
+            # results, so export failure is a warning, not an error.
+            try:
+                self.export(self.directory)
+            except (StorageError, OSError) as exc:
+                print(
+                    f"warning: telemetry export to {self.directory} "
+                    f"failed ({exc}); results are unaffected",
+                    file=sys.stderr,
+                )
 
     # -- export ----------------------------------------------------
 
@@ -122,16 +135,25 @@ class TelemetrySession:
         self.registry.gauge("spans.dropped", self.tracer.dropped)
 
     def export(self, directory: Union[str, Path]) -> Path:
-        """Write ``spans.jsonl``, ``trace.json``, ``metrics.json``."""
+        """Write ``spans.jsonl``, ``trace.json``, ``metrics.json``.
+
+        Each artifact goes through the atomic-write seam, so a crash
+        (or a full disk) mid-export never leaves a truncated trace —
+        the file is either absent or complete.  Failures raise
+        :class:`~repro.errors.StorageError`; the ``__exit__`` path
+        downgrades that to a warning.
+        """
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
         self.collect()
-        (target / "spans.jsonl").write_text(spans_jsonl(self.tracer))
-        (target / "trace.json").write_text(
-            json.dumps(chrome_trace(self.tracer, label=self.label)) + "\n"
+        atomic_write_text(target / "spans.jsonl", spans_jsonl(self.tracer))
+        atomic_write_text(
+            target / "trace.json",
+            json.dumps(chrome_trace(self.tracer, label=self.label)) + "\n",
         )
-        (target / "metrics.json").write_text(
+        atomic_write_text(
+            target / "metrics.json",
             json.dumps(self.registry.snapshot(), indent=2, sort_keys=True)
-            + "\n"
+            + "\n",
         )
         return target
